@@ -1,0 +1,68 @@
+// Command daspos-interview renders the paper's assessment artifacts: the
+// Table 1 outreach matrix, the Appendix A maturity-rating tables, and the
+// data-interview reports for the built-in experiment profiles.
+//
+// Usage:
+//
+//	daspos-interview table1          Table 1 outreach matrix
+//	daspos-interview appendix        Appendix A maturity tables
+//	daspos-interview report [NAME]   full interview report(s)
+//	daspos-interview compare         cross-experiment maturity matrix
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"daspos/internal/interview"
+	"daspos/internal/outreach"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daspos-interview: ")
+	cmd := "compare"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	switch cmd {
+	case "table1":
+		fmt.Println(outreach.Table1())
+	case "appendix":
+		for _, a := range interview.Areas() {
+			fmt.Println(interview.MaturityTable(a))
+		}
+	case "report":
+		profiles := interview.StandardProfiles()
+		if len(os.Args) > 2 {
+			profiles = filterByName(profiles, os.Args[2])
+			if len(profiles) == 0 {
+				log.Fatalf("no profile %q", os.Args[2])
+			}
+		}
+		for _, iv := range profiles {
+			fmt.Printf("=== %s (%s) ===\n", iv.Name, iv.Dept)
+			fmt.Printf("Data: %s\n", iv.DataDescription)
+			fmt.Printf("Total volume: %s; external deps: %v\n\n",
+				interview.FormatBytes(iv.TotalBytes()), iv.ExternalDependencies())
+			fmt.Println(iv.LifecycleTable())
+			fmt.Println(iv.RatingsTable())
+			fmt.Println(iv.SharingGridTable())
+		}
+	case "compare":
+		fmt.Println(interview.Comparison(interview.StandardProfiles()))
+	default:
+		log.Fatalf("unknown subcommand %q (want table1, appendix, report, compare)", cmd)
+	}
+}
+
+func filterByName(ps []*interview.Interview, name string) []*interview.Interview {
+	var out []*interview.Interview
+	for _, p := range ps {
+		if p.Name == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}

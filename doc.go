@@ -1,0 +1,11 @@
+// Package daspos is a Go reproduction of the DASPOS (Data and Software
+// Preservation for Open Science) Workshop 1 report: a complete data- and
+// analysis-preservation platform for high energy physics, from the Monte
+// Carlo generator and detector simulation at the bottom to the RECAST
+// reinterpretation service and the preservation archive at the top.
+//
+// The root package carries the benchmark harness (bench_test.go): one
+// benchmark per paper artifact, as indexed in DESIGN.md and recorded in
+// EXPERIMENTS.md. The library lives under internal/, the executables under
+// cmd/, and runnable walkthroughs under examples/.
+package daspos

@@ -1,0 +1,342 @@
+package daspos
+
+// End-to-end integration tests: each test exercises a complete
+// paper-level scenario across many packages, catching wiring regressions
+// that per-package unit tests cannot see.
+
+import (
+	"bytes"
+	"testing"
+
+	"daspos/internal/archive"
+	"daspos/internal/bridge"
+	"daspos/internal/conditions"
+	"daspos/internal/core"
+	"daspos/internal/datamodel"
+	"daspos/internal/detector"
+	"daspos/internal/envcapture"
+	"daspos/internal/generator"
+	"daspos/internal/leshouches"
+	"daspos/internal/outreach"
+	"daspos/internal/provenance"
+	"daspos/internal/rawdata"
+	"daspos/internal/recast"
+	"daspos/internal/reco"
+	"daspos/internal/rivet"
+	"daspos/internal/sim"
+	"daspos/internal/skim"
+	"daspos/internal/workflow"
+)
+
+// TestEndToEndPreservationLoop runs the complete loop:
+// data production with provenance → capsule assembly → archive persistence
+// → reload decades later → reinterpretation and environment check.
+func TestEndToEndPreservationLoop(t *testing.T) {
+	// --- production era ---
+	d := detectorWithConditions(t)
+	prov := provenance.NewStore()
+	wf := productionWorkflow(t, d)
+	res, err := wf.Execute(map[string]*workflow.Artifact{
+		"raw.banks": rawArtifact(t, d.det, 60),
+	}, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Audit().CompleteFraction() != 1 {
+		t.Fatal("production provenance incomplete")
+	}
+
+	// Reference data from the preserved truth-level analysis.
+	run, err := rivet.NewRun("DASPOS_2013_ZMUMU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := generator.NewDrellYanZ(generator.DefaultConfig(50))
+	for i := 0; i < 1500; i++ {
+		if err := run.Process(g.Generate()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	reference, err := run.ExportYODA()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := envcapture.StandardRegistry()
+	_, cur, next := envcapture.StandardPlatforms()
+	env, err := envcapture.Capture(reg, "e2e", cur, envcapture.PkgRef{Name: "recast-backend", Version: "0.7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := wf.Description()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capsule := &core.Capsule{
+		Title: "e2e dimuon capsule", Creator: "integration-test",
+		ConditionsTag: "e2e-v1",
+		Analysis:      dimuonSearchRecord(),
+		Reference:     reference,
+		Environment:   env,
+		Provenance:    prov,
+		Workflow:      desc,
+	}
+	store := archive.New()
+	id, err := capsule.Ingest(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist the whole archive to bytes and reload: the cold-storage trip.
+	var cold bytes.Buffer
+	if err := store.Persist(&cold); err != nil {
+		t.Fatal(err)
+	}
+	thawed, err := archive.ReadFrom(bytes.NewReader(cold.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- reuse era ---
+	loaded, err := core.FromArchive(thawed, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1. The provenance chain survived and still audits complete.
+	if rep := loaded.AuditProvenance(); rep.CompleteFraction() != 1 || rep.Records != prov.Len() {
+		t.Fatalf("provenance after thaw: %+v", rep)
+	}
+	// 2. The workflow description is still parseable and valid.
+	if _, err := workflow.FromDescription(loaded.Workflow); err != nil {
+		t.Fatal(err)
+	}
+	// 3. The environment check plans a migration to the next platform.
+	plan, err := loaded.CheckEnvironment(reg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.OK() || len(plan.Upgrades) == 0 {
+		t.Fatalf("migration plan: %+v", plan)
+	}
+	// 4. A fresh re-run validates against the archived reference.
+	rerun, _ := rivet.NewRun("DASPOS_2013_ZMUMU")
+	g2 := generator.NewDrellYanZ(generator.DefaultConfig(51))
+	for i := 0; i < 1500; i++ {
+		_ = rerun.Process(g2.Generate())
+	}
+	_ = rerun.Finalize()
+	outcomes, err := loaded.ValidateRerun(rerun.Histograms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.MissingReference || !o.Chi2.Compatible(1e-4) {
+			t.Fatalf("rerun validation failed for %s (p=%v)", o.Histogram, o.Chi2.PValue)
+		}
+	}
+	// 5. The archived selection reinterprets a new model.
+	gen := generator.NewZPrime(generator.DefaultConfig(52), 1500)
+	fast := sim.NewFastSim(52)
+	var events []*datamodel.Event
+	for i := 0; i < 120; i++ {
+		ev := gen.Generate()
+		events = append(events, bridge.EventFromFastObjects(uint64(i), fast.Simulate(ev)))
+	}
+	rei, err := loaded.Reinterpret(events, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rei.Acceptance <= 0.2 || rei.UpperLimitXsecPb <= 0 {
+		t.Fatalf("reinterpretation: %+v", rei)
+	}
+	_ = res
+}
+
+// TestRecastOverHTTPWithBridgeBackend runs the reinterpretation loop over
+// the real HTTP front end with the bridge back end and cross-checks the
+// full-sim tier in-process.
+func TestRecastOverHTTPWithBridgeBackend(t *testing.T) {
+	d := detectorWithConditions(t)
+	model := recast.ModelSpec{Process: "zprime", MassGeV: 1000, Events: 80, Seed: 60}
+
+	bridgeSvc := recast.NewService(&bridge.RivetBackend{LuminosityPb: 20000})
+	if err := bridgeSvc.Subscribe(recast.Subscription{Name: dimuonSearchRecord().Name, Record: dimuonSearchRecord()}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := bridgeSvc.Submit(dimuonSearchRecord().Name, "e2e", "", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bridgeSvc.Approve(req.ID); err != nil {
+		t.Fatal(err)
+	}
+	bridged, err := bridgeSvc.Process(req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := &recast.FullSimBackend{Det: d.det, CondDB: d.db, Tag: "e2e-v1", Run: 1, LuminosityPb: 20000}
+	fullRes, err := full.Process(model, dimuonSearchRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agr := bridge.CompareResults(fullRes, bridged.Result)
+	if agr.Discrepant {
+		t.Fatalf("tiers disagree at %0.1fσ: full=%v bridge=%v",
+			agr.DeltaSigma, agr.FullAcceptance, agr.BridgeAcceptance)
+	}
+}
+
+// TestOutreachFromProduction checks the Level 2 path end to end: full
+// chain → converter → exhibit → master class measurement.
+func TestOutreachFromProduction(t *testing.T) {
+	d := detectorWithConditions(t)
+	full := sim.NewFullSim(d.det, 70)
+	rec := reco.New(d.det)
+	gen := generator.NewDrellYanZ(generator.DefaultConfig(70))
+	conv := outreach.NewConverter(d.det)
+	var sample []*outreach.SimplifiedEvent
+	for i := 0; i < 100; i++ {
+		raw := rawdata.Digitize(1, full.Simulate(gen.Generate()))
+		ev, err := rec.Reconstruct(raw, d.snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample = append(sample, conv.Convert(ev))
+	}
+	var exhibit bytes.Buffer
+	if err := outreach.WriteExhibit(&exhibit, d.det, sample); err != nil {
+		t.Fatal(err)
+	}
+	_, classroom, err := outreach.ReadExhibit(bytes.NewReader(exhibit.Bytes()), int64(exhibit.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zpath, _ := outreach.MasterClassByName("z-path")
+	res, err := zpath.Run(classroom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate < 80 || res.Estimate > 100 {
+		t.Fatalf("classroom Z mass: %v", res.Estimate)
+	}
+}
+
+// --- shared helpers ---
+
+type detCond struct {
+	det  *detector.Detector
+	db   *conditions.DB
+	snap *conditions.Snapshot
+}
+
+func detectorWithConditions(t testing.TB) *detCond {
+	t.Helper()
+	db := conditions.NewDB()
+	if err := conditions.SeedStandard(db, "e2e-v1", 1, 10, 10, 99); err != nil {
+		t.Fatal(err)
+	}
+	return &detCond{det: detector.Standard(), db: db, snap: db.Snapshot("e2e-v1", 1)}
+}
+
+func dimuonSearchRecord() *leshouches.AnalysisRecord {
+	return &leshouches.AnalysisRecord{
+		Name: "E2E_DIMUON_HIGHMASS",
+		Objects: []leshouches.ObjectDefinition{
+			{Name: "mu", Type: datamodel.ObjMuon, MinPt: 30, MaxAbsEta: 2.4},
+		},
+		Selection: []leshouches.Cut{
+			{Variable: "count:mu", Op: ">=", Value: 2},
+			{Variable: "os_pair:mu", Op: "==", Value: 1},
+			{Variable: "inv_mass:mu", Op: ">", Value: 400},
+		},
+		Background:     4.2,
+		ObservedEvents: 5,
+	}
+}
+
+func rawArtifact(t testing.TB, det *detector.Detector, n int) *workflow.Artifact {
+	t.Helper()
+	full := sim.NewFullSim(det, 80)
+	gen := generator.NewDrellYanZ(generator.DefaultConfig(80))
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		if err := rawdata.WriteEvent(&buf, rawdata.Digitize(1, full.Simulate(gen.Generate()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &workflow.Artifact{Name: "raw.banks", Tier: "RAW", Events: n, Data: buf.Bytes()}
+}
+
+func productionWorkflow(t testing.TB, d *detCond) *workflow.Workflow {
+	t.Helper()
+	rec := reco.New(d.det)
+	return &workflow.Workflow{
+		Name:          "e2e-chain",
+		ConditionsTag: "e2e-v1",
+		PrimaryInputs: []string{"raw.banks"},
+		Steps: []workflow.Step{
+			{
+				Name: "reco", Software: "daspos-reco", Version: rec.Version,
+				Inputs: []string{"raw.banks"}, Outputs: []string{"aod.edm"},
+				Run: func(ctx *workflow.Context) error {
+					in, err := ctx.Input("raw.banks")
+					if err != nil {
+						return err
+					}
+					raws, err := rawdata.ReadFile(bytes.NewReader(in.Data))
+					if err != nil {
+						return err
+					}
+					var aod []*datamodel.Event
+					for _, r := range raws {
+						ev, err := rec.Reconstruct(r, d.snap)
+						if err != nil {
+							return err
+						}
+						for _, f := range rec.TouchedFolders() {
+							ctx.External("conditions:" + f)
+						}
+						aod = append(aod, ev.SlimToAOD())
+					}
+					var buf bytes.Buffer
+					if _, err := datamodel.WriteEvents(&buf, datamodel.TierAOD, aod); err != nil {
+						return err
+					}
+					return ctx.Output("aod.edm", "AOD", len(aod), buf.Bytes())
+				},
+			},
+			{
+				Name: "skim", Software: "daspos-skim", Version: "1.0",
+				Inputs: []string{"aod.edm"}, Outputs: []string{"skim.MU"},
+				Run: func(ctx *workflow.Context) error {
+					in, err := ctx.Input("aod.edm")
+					if err != nil {
+						return err
+					}
+					_, events, err := datamodel.ReadEvents(bytes.NewReader(in.Data))
+					if err != nil {
+						return err
+					}
+					der := skim.Derivation{
+						Name:      "MU",
+						Selection: skim.Selection{Cuts: []skim.Cut{{Variable: "n_muons", Op: skim.OpGE, Value: 1}}},
+						Slim:      skim.SlimPolicy{KeepTypes: []datamodel.ObjectType{datamodel.ObjMuon}},
+					}
+					out, _, err := der.Run(events)
+					if err != nil {
+						return err
+					}
+					var buf bytes.Buffer
+					if _, err := datamodel.WriteEvents(&buf, datamodel.TierDerived, out); err != nil {
+						return err
+					}
+					return ctx.Output("skim.MU", "DERIVED", len(out), buf.Bytes())
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,3 @@
+module daspos
+
+go 1.22

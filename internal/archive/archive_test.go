@@ -1,0 +1,230 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"daspos/internal/datamodel"
+)
+
+func sampleFiles() map[string][]byte {
+	return map[string][]byte{
+		"events/aod.edm":     bytes.Repeat([]byte("event-data "), 1000),
+		"analysis/cuts.json": []byte(`{"cuts":[{"variable":"met","op":">","value":25}]}`),
+		"env/manifest.json":  []byte(`{"workflow":"w"}`),
+		"prov/chain.json":    []byte(`[]`),
+		"docs/README.md":     []byte("# Preserved search analysis\n"),
+	}
+}
+
+func sampleMeta() Metadata {
+	return Metadata{
+		Title:         "W+MET search 2013",
+		Creator:       "DASPOS",
+		Description:   "Preserved W to lepton+MET selection with reference data",
+		Level:         datamodel.DPHEPLevel3,
+		ConditionsTag: "data-v3",
+		EnvManifest:   "env/manifest.json",
+		Provenance:    "prov/chain.json",
+		Keywords:      []string{"w-boson", "met", "search"},
+	}
+}
+
+func TestIngestAndFetch(t *testing.T) {
+	a := New()
+	id, err := a.Ingest(sampleMeta(), sampleFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := a.Get(id)
+	if !ok {
+		t.Fatal("package missing after ingest")
+	}
+	if pkg.Metadata.ID != id || len(pkg.Files) != 5 {
+		t.Fatalf("package: %+v", pkg.Metadata)
+	}
+	data, err := a.Fetch(id, "docs/README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# Preserved") {
+		t.Fatal("fetched wrong content")
+	}
+	if pkg.TotalBytes() <= 0 {
+		t.Fatal("total bytes")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	a := New()
+	if _, err := a.Ingest(Metadata{}, sampleFiles()); err == nil {
+		t.Fatal("untitled package ingested")
+	}
+	if _, err := a.Ingest(sampleMeta(), nil); err == nil {
+		t.Fatal("empty package ingested")
+	}
+	m := sampleMeta()
+	m.ID = "preset"
+	if _, err := a.Ingest(m, sampleFiles()); err == nil {
+		t.Fatal("preset ID accepted")
+	}
+	m2 := sampleMeta()
+	m2.EnvManifest = "not/there.json"
+	if _, err := a.Ingest(m2, sampleFiles()); err == nil {
+		t.Fatal("dangling env manifest reference accepted")
+	}
+	for _, bad := range []string{"", "/abs/path", "a/../b"} {
+		if _, err := a.Ingest(sampleMeta(), map[string][]byte{bad: []byte("x")}); err == nil {
+			t.Fatalf("path %q accepted", bad)
+		}
+	}
+}
+
+func TestDuplicateIngestRejected(t *testing.T) {
+	a := New()
+	if _, err := a.Ingest(sampleMeta(), sampleFiles()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Ingest(sampleMeta(), sampleFiles()); err == nil {
+		t.Fatal("identical package ingested twice")
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	a := New()
+	id, _ := a.Ingest(sampleMeta(), sampleFiles())
+	if _, err := a.Fetch("nope", "x"); !errors.Is(err, ErrNoPackage) {
+		t.Fatalf("err: %v", err)
+	}
+	if _, err := a.Fetch(id, "nope"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestVerifyDetectsBitRot(t *testing.T) {
+	a := New()
+	id, _ := a.Ingest(sampleMeta(), sampleFiles())
+	if err := a.VerifyPackage(id); err != nil {
+		t.Fatal(err)
+	}
+	pkg, _ := a.Get(id)
+	if err := a.CorruptBlob(pkg.File("events/aod.edm").Digest); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.VerifyPackage(id); err == nil {
+		t.Fatal("bit rot not detected")
+	}
+	rep := a.VerifyAll()
+	if rep.Healthy != 0 || len(rep.Damaged) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestDeduplicationAcrossPackages(t *testing.T) {
+	a := New()
+	if _, err := a.Ingest(sampleMeta(), sampleFiles()); err != nil {
+		t.Fatal(err)
+	}
+	m := sampleMeta()
+	m.Title = "Second package sharing payload"
+	if _, err := a.Ingest(m, sampleFiles()); err != nil {
+		t.Fatal(err)
+	}
+	// Five distinct blobs even though ten files are registered.
+	if a.Stats().Blobs != 5 {
+		t.Fatalf("blobs: %d", a.Stats().Blobs)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	a := New()
+	_, _ = a.Ingest(sampleMeta(), sampleFiles())
+	m := sampleMeta()
+	m.Title = "Z lineshape outreach sample"
+	m.Level = datamodel.DPHEPLevel2
+	m.Keywords = []string{"outreach", "masterclass"}
+	m.Description = "Dimuon invariant mass exercise"
+	m.EnvManifest, m.Provenance = "", ""
+	if _, err := a.Ingest(m, map[string][]byte{"z.json": []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := a.Search("met", 0); len(got) != 1 || got[0].Title != "W+MET search 2013" {
+		t.Fatalf("search met: %+v", got)
+	}
+	if got := a.Search("", datamodel.DPHEPLevel2); len(got) != 1 || got[0].Level != datamodel.DPHEPLevel2 {
+		t.Fatalf("search level2: %+v", got)
+	}
+	if got := a.Search("masterclass", datamodel.DPHEPLevel3); len(got) != 0 {
+		t.Fatalf("level filter leaked: %+v", got)
+	}
+	if got := a.Search("", 0); len(got) != 2 {
+		t.Fatalf("search all: %d", len(got))
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	a := New()
+	id, _ := a.Ingest(sampleMeta(), sampleFiles())
+	var buf bytes.Buffer
+	if err := a.Persist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs()) != 1 || got.IDs()[0] != id {
+		t.Fatalf("ids: %v", got.IDs())
+	}
+	data, err := got.Fetch(id, "analysis/cuts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "met") {
+		t.Fatal("content lost through persistence")
+	}
+}
+
+func TestReadFromRejectsDamage(t *testing.T) {
+	a := New()
+	id, _ := a.Ingest(sampleMeta(), sampleFiles())
+	pkg, _ := a.Get(id)
+	_ = a.CorruptBlob(pkg.Files[0].Digest)
+	var buf bytes.Buffer
+	_ = a.Persist(&buf)
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("damaged archive loaded")
+	}
+	if _, err := ReadFrom(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	if _, err := ReadFrom(strings.NewReader("5\n{bad}")); err == nil {
+		t.Fatal("bad index loaded")
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	files := sampleFiles()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := New()
+		m := sampleMeta()
+		if _, err := a.Ingest(m, files); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyPackage(b *testing.B) {
+	a := New()
+	id, _ := a.Ingest(sampleMeta(), sampleFiles())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.VerifyPackage(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package archive
+
+import (
+	"fmt"
+)
+
+// Replication: the "succession plans (e.g. an alternative data centre) are
+// in place to safeguard data" requirement of the Appendix A level-5
+// data-management maturity rating. CopyPackage moves one package between
+// archives with end-to-end fixity; Replicate synchronizes everything and
+// Repair heals a damaged archive from a healthy replica.
+
+// CopyPackage copies a package (metadata and payload) into dst. Content
+// addressing makes the copy self-verifying: every blob is fixity-checked
+// on read, and the package keeps its ID. Copying a package that already
+// exists in dst is a no-op.
+func CopyPackage(dst, src *Archive, id string) error {
+	pkg, ok := src.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPackage, id)
+	}
+	if _, exists := dst.packages[id]; exists {
+		return nil
+	}
+	cp := &Package{Metadata: pkg.Metadata, Files: append([]File(nil), pkg.Files...)}
+	for _, f := range pkg.Files {
+		data, err := src.Fetch(id, f.Path)
+		if err != nil {
+			return fmt.Errorf("archive: replicating %s: %w", id, err)
+		}
+		digest, err := dst.blobs.Put(data)
+		if err != nil {
+			return err
+		}
+		if digest != f.Digest {
+			// Cannot happen unless Fetch's fixity check is broken; keep
+			// the invariant explicit.
+			return fmt.Errorf("archive: replica digest drift for %s in %s", f.Path, id)
+		}
+	}
+	dst.packages[id] = cp
+	return nil
+}
+
+// Replicate copies every package from src that dst is missing, returning
+// the number copied.
+func Replicate(dst, src *Archive) (int, error) {
+	copied := 0
+	for _, id := range src.IDs() {
+		if _, exists := dst.packages[id]; exists {
+			continue
+		}
+		if err := CopyPackage(dst, src, id); err != nil {
+			return copied, err
+		}
+		copied++
+	}
+	return copied, nil
+}
+
+// Repair restores damaged packages in a from a healthy replica: the
+// disaster-recovery drill of the maturity table's level 5 ("routinely
+// tested and shown to be effective"). It returns the repaired package IDs.
+func Repair(damaged, replica *Archive) ([]string, error) {
+	var repaired []string
+	for _, id := range damaged.IDs() {
+		if damaged.VerifyPackage(id) == nil {
+			continue
+		}
+		pkg, ok := replica.Get(id)
+		if !ok {
+			return repaired, fmt.Errorf("archive: package %s damaged and absent from replica", id)
+		}
+		for _, f := range pkg.Files {
+			data, err := replica.Fetch(id, f.Path)
+			if err != nil {
+				return repaired, fmt.Errorf("archive: replica of %s also damaged: %w", id, err)
+			}
+			// Drop the bad blob and restore from the replica's bytes.
+			damaged.blobs.Delete(f.Digest)
+			if _, err := damaged.blobs.Put(data); err != nil {
+				return repaired, err
+			}
+		}
+		if err := damaged.VerifyPackage(id); err != nil {
+			return repaired, fmt.Errorf("archive: repair of %s did not verify: %w", id, err)
+		}
+		repaired = append(repaired, id)
+	}
+	return repaired, nil
+}

@@ -1,0 +1,121 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"daspos/internal/datamodel"
+)
+
+func twoPackageArchive(t *testing.T) (*Archive, []string) {
+	t.Helper()
+	a := New()
+	id1, err := a.Ingest(sampleMeta(), sampleFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sampleMeta()
+	m.Title = "Second capsule"
+	m.Description = "independent payload"
+	m.EnvManifest, m.Provenance = "", ""
+	m.Level = datamodel.DPHEPLevel2
+	id2, err := a.Ingest(m, map[string][]byte{
+		"events.json": bytes.Repeat([]byte("evt"), 5000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, []string{id1, id2}
+}
+
+func TestCopyPackage(t *testing.T) {
+	src, ids := twoPackageArchive(t)
+	dst := New()
+	if err := CopyPackage(dst, src, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.VerifyPackage(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Fetch(ids[0], "docs/README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := src.Fetch(ids[0], "docs/README.md")
+	if !bytes.Equal(got, want) {
+		t.Fatal("replica content differs")
+	}
+	// Idempotent.
+	if err := CopyPackage(dst, src, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyPackage(dst, src, "ghost"); err == nil {
+		t.Fatal("phantom package copied")
+	}
+}
+
+func TestCopyRefusesDamagedSource(t *testing.T) {
+	src, ids := twoPackageArchive(t)
+	pkg, _ := src.Get(ids[0])
+	_ = src.CorruptBlob(pkg.Files[0].Digest)
+	dst := New()
+	if err := CopyPackage(dst, src, ids[0]); err == nil {
+		t.Fatal("damaged package replicated silently")
+	}
+}
+
+func TestReplicateAll(t *testing.T) {
+	src, ids := twoPackageArchive(t)
+	dst := New()
+	n, err := Replicate(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("copied %d", n)
+	}
+	rep := dst.VerifyAll()
+	if rep.Healthy != 2 {
+		t.Fatalf("replica health: %+v", rep)
+	}
+	// Re-replication copies nothing.
+	n, err = Replicate(dst, src)
+	if err != nil || n != 0 {
+		t.Fatalf("re-replicate: %d %v", n, err)
+	}
+	_ = ids
+}
+
+func TestRepairFromReplica(t *testing.T) {
+	primary, ids := twoPackageArchive(t)
+	replica := New()
+	if _, err := Replicate(replica, primary); err != nil {
+		t.Fatal(err)
+	}
+	// Disaster strikes the primary.
+	pkg, _ := primary.Get(ids[0])
+	_ = primary.CorruptBlob(pkg.Files[0].Digest)
+	if primary.VerifyAll().Healthy == 2 {
+		t.Fatal("corruption not effective")
+	}
+	repaired, err := Repair(primary, replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) != 1 || repaired[0] != ids[0] {
+		t.Fatalf("repaired: %v", repaired)
+	}
+	if rep := primary.VerifyAll(); rep.Healthy != 2 {
+		t.Fatalf("primary not healed: %+v", rep)
+	}
+}
+
+func TestRepairFailsWithoutReplica(t *testing.T) {
+	primary, ids := twoPackageArchive(t)
+	pkg, _ := primary.Get(ids[0])
+	_ = primary.CorruptBlob(pkg.Files[0].Digest)
+	empty := New()
+	if _, err := Repair(primary, empty); err == nil {
+		t.Fatal("repair succeeded without a replica")
+	}
+}

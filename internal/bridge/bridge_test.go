@@ -1,0 +1,213 @@
+package bridge
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"daspos/internal/conditions"
+	"daspos/internal/datamodel"
+	"daspos/internal/detector"
+	"daspos/internal/hist"
+	"daspos/internal/leshouches"
+	"daspos/internal/recast"
+	"daspos/internal/sim"
+	"daspos/internal/units"
+
+	"daspos/internal/fourvec"
+)
+
+func searchRecord() *leshouches.AnalysisRecord {
+	return &leshouches.AnalysisRecord{
+		Name: "GPD_2013_DIMUON_HIGHMASS",
+		Objects: []leshouches.ObjectDefinition{
+			{Name: "sig_muon", Type: datamodel.ObjMuon, MinPt: 30, MaxAbsEta: 2.4},
+		},
+		Selection: []leshouches.Cut{
+			{Variable: "count:sig_muon", Op: ">=", Value: 2},
+			{Variable: "os_pair:sig_muon", Op: "==", Value: 1},
+			{Variable: "inv_mass:sig_muon", Op: ">", Value: 400},
+		},
+		Background:     4.2,
+		ObservedEvents: 5,
+	}
+}
+
+func model(events int) recast.ModelSpec {
+	return recast.ModelSpec{Process: "zprime", MassGeV: 1200, Events: events, Seed: 11}
+}
+
+func TestBridgeProcess(t *testing.T) {
+	b := &RivetBackend{LuminosityPb: 20000}
+	res, err := b.Process(model(200), searchRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BackEnd != "rivet-bridge" {
+		t.Fatalf("backend: %s", res.BackEnd)
+	}
+	if res.Generated != 200 {
+		t.Fatalf("generated: %d", res.Generated)
+	}
+	// A 1.2 TeV Z' decaying to central muons passes the high-mass
+	// selection most of the time at truth-smeared level.
+	if res.Acceptance < 0.3 {
+		t.Fatalf("bridge acceptance %v", res.Acceptance)
+	}
+	if res.UpperLimitXsecPb <= 0 {
+		t.Fatalf("no limit: %+v", res)
+	}
+	if b.LastValidation() != nil {
+		t.Fatal("validation data without validation analyses")
+	}
+}
+
+func TestBridgeRejectsBadModel(t *testing.T) {
+	b := &RivetBackend{}
+	m := model(10)
+	m.Process = "axion"
+	if _, err := b.Process(m, searchRecord()); err == nil {
+		t.Fatal("bad model processed")
+	}
+	if _, err := b.Process(recast.ModelSpec{Process: "zprime", MassGeV: 1000, Events: 10}, &leshouches.AnalysisRecord{Name: "x", Selection: []leshouches.Cut{{Variable: "count:ghost", Op: ">", Value: 0}}}); err == nil {
+		t.Fatal("invalid record processed")
+	}
+}
+
+func TestBridgeValidationAnalyses(t *testing.T) {
+	b := &RivetBackend{LuminosityPb: 20000, ValidationAnalyses: []string{"DASPOS_2013_ZMUMU"}}
+	if _, err := b.Process(model(150), searchRecord()); err != nil {
+		t.Fatal(err)
+	}
+	data := b.LastValidation()
+	if len(data) == 0 {
+		t.Fatal("no validation export")
+	}
+	hs, err := hist.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) == 0 {
+		t.Fatal("validation export empty")
+	}
+	b2 := &RivetBackend{ValidationAnalyses: []string{"NOPE"}}
+	if _, err := b2.Process(model(5), searchRecord()); err == nil {
+		t.Fatal("unknown validation analysis accepted")
+	}
+}
+
+func TestEventFromFastObjects(t *testing.T) {
+	objs := []sim.FastObject{
+		{PDG: -units.PDGMuon, P: fourvec.PtEtaPhiM(50, 0.3, 0.1, 0.105)},
+		{PDG: units.PDGElectron, P: fourvec.PtEtaPhiM(30, -0.5, 2.0, 0.0005)},
+		{PDG: units.PDGPhoton, P: fourvec.PtEtaPhiM(20, 1.0, -1.0, 0)},
+		{PDG: units.PDGPiPlus, P: fourvec.PtEtaPhiM(5, 0.31, 0.12, 0.14)},
+	}
+	e := EventFromFastObjects(7, objs)
+	if e.Number != 7 || e.Tier != datamodel.TierAOD {
+		t.Fatalf("event: %+v", e)
+	}
+	if len(e.CandidatesOf(datamodel.ObjMuon)) != 1 ||
+		len(e.CandidatesOf(datamodel.ObjElectron)) != 1 ||
+		len(e.CandidatesOf(datamodel.ObjPhoton)) != 1 ||
+		len(e.CandidatesOf(datamodel.ObjTrackCandidate)) != 1 {
+		t.Fatalf("object mapping wrong: %+v", e.Candidates)
+	}
+	mu := e.CandidatesOf(datamodel.ObjMuon)[0]
+	if mu.Charge != 1 {
+		t.Fatalf("anti-muon charge %v", mu.Charge)
+	}
+	// The nearby pion contributes to the muon isolation cone.
+	if mu.Isolation < 4.9 {
+		t.Fatalf("isolation %v", mu.Isolation)
+	}
+	if e.Missing.Pt <= 0 || e.Missing.SumEt <= 0 {
+		t.Fatalf("met: %+v", e.Missing)
+	}
+}
+
+func TestBridgeAgreesWithFullSim(t *testing.T) {
+	// Experiment R3's shape: same request through both tiers gives
+	// statistically compatible acceptances, with the bridge much faster.
+	det := detector.Standard()
+	db := conditions.NewDB()
+	if err := conditions.SeedStandard(db, "t", 1, 10, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	full := &recast.FullSimBackend{Det: det, CondDB: db, Tag: "t", Run: 1, LuminosityPb: 20000}
+	light := &RivetBackend{LuminosityPb: 20000}
+	m := model(150)
+
+	t0 := time.Now()
+	fullRes, err := full.Process(m, searchRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(t0)
+
+	t1 := time.Now()
+	lightRes, err := light.Process(m, searchRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightDur := time.Since(t1)
+
+	agr := CompareResults(fullRes, lightRes)
+	if agr.Discrepant {
+		t.Fatalf("tiers disagree: full=%v bridge=%v (%.1fσ)",
+			agr.FullAcceptance, agr.BridgeAcceptance, agr.DeltaSigma)
+	}
+	if lightDur >= fullDur {
+		t.Fatalf("bridge (%v) not faster than full sim (%v)", lightDur, fullDur)
+	}
+}
+
+func TestBridgeAsRecastBackend(t *testing.T) {
+	// The bridge drops into the RECAST service unchanged: the
+	// interoperability the conclusions promise.
+	svc := recast.NewService(&RivetBackend{LuminosityPb: 20000})
+	if err := svc.Subscribe(recast.Subscription{
+		Name: "GPD_2013_DIMUON_HIGHMASS", Record: searchRecord(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := svc.Submit("GPD_2013_DIMUON_HIGHMASS", "theorist", "", model(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Approve(req.ID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := svc.Process(req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Result.BackEnd != "rivet-bridge" {
+		t.Fatalf("backend: %s", done.Result.BackEnd)
+	}
+}
+
+func TestCompareResultsEdges(t *testing.T) {
+	a := &recast.Result{Generated: 0, Acceptance: 0}
+	agr := CompareResults(a, a)
+	if agr.DeltaSigma != 0 || agr.Discrepant {
+		t.Fatalf("zero-stat compare: %+v", agr)
+	}
+	full := &recast.Result{Generated: 1000, Acceptance: 0.8}
+	brd := &recast.Result{Generated: 1000, Acceptance: 0.2}
+	if agr := CompareResults(full, brd); !agr.Discrepant {
+		t.Fatal("gross disagreement not flagged")
+	}
+}
+
+func BenchmarkBridgeRequest(b *testing.B) {
+	backend := &RivetBackend{LuminosityPb: 20000}
+	rec := searchRecord()
+	for i := 0; i < b.N; i++ {
+		m := model(10)
+		m.Seed = uint64(i)
+		if _, err := backend.Process(m, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

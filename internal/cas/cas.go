@@ -1,0 +1,241 @@
+// Package cas implements the content-addressed store underneath the
+// preservation archive: blobs are keyed by the SHA-256 of their content,
+// stored deflate-compressed, deduplicated, and verifiable at any time.
+// Content addressing gives the archive its two load-bearing properties:
+// fixity checks are intrinsic (a blob that decompresses to the wrong hash
+// is corrupt by definition), and identical payloads archived by different
+// packages are stored once.
+package cas
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned when a digest is not in the store.
+var ErrNotFound = errors.New("cas: blob not found")
+
+// ErrCorrupt is returned when a blob fails its fixity check.
+var ErrCorrupt = errors.New("cas: blob corrupt")
+
+// Digest computes the content address of a payload.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Store is an in-memory content-addressed blob store, safe for concurrent
+// use. Persist and Load move the whole store to and from a stream.
+type Store struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte // digest -> compressed payload
+	// logical tracks the uncompressed size per digest for stats.
+	logical map[string]int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{blobs: make(map[string][]byte), logical: make(map[string]int64)}
+}
+
+// Put stores a payload and returns its digest. Duplicate content is a
+// no-op returning the same digest.
+func (s *Store) Put(data []byte) (string, error) {
+	d := Digest(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[d]; ok {
+		return d, nil
+	}
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return "", err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return "", err
+	}
+	if err := zw.Close(); err != nil {
+		return "", err
+	}
+	s.blobs[d] = append([]byte(nil), buf.Bytes()...)
+	s.logical[d] = int64(len(data))
+	return d, nil
+}
+
+// Get retrieves and fixity-checks a payload.
+func (s *Store) Get(digest string) ([]byte, error) {
+	s.mu.RLock()
+	comp, ok := s.blobs[digest]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+	}
+	zr := flate.NewReader(bytes.NewReader(comp))
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, digest, err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, digest, err)
+	}
+	if Digest(data) != digest {
+		return nil, fmt.Errorf("%w: %s: content hash mismatch", ErrCorrupt, digest)
+	}
+	return data, nil
+}
+
+// Has reports whether the digest is stored.
+func (s *Store) Has(digest string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[digest]
+	return ok
+}
+
+// Delete removes a blob. Deleting an absent digest is a no-op.
+func (s *Store) Delete(digest string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, digest)
+	delete(s.logical, digest)
+}
+
+// Digests returns the sorted list of stored digests.
+func (s *Store) Digests() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.blobs))
+	for d := range s.blobs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes storage consumption.
+type Stats struct {
+	Blobs        int
+	LogicalBytes int64
+	StoredBytes  int64
+}
+
+// CompressionRatio returns logical/stored, or 0 for an empty store.
+func (st Stats) CompressionRatio() float64 {
+	if st.StoredBytes == 0 {
+		return 0
+	}
+	return float64(st.LogicalBytes) / float64(st.StoredBytes)
+}
+
+// Stats returns current storage statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Blobs: len(s.blobs)}
+	for d, b := range s.blobs {
+		st.StoredBytes += int64(len(b))
+		st.LogicalBytes += s.logical[d]
+	}
+	return st
+}
+
+// VerifyAll fixity-checks every blob and returns the digests that failed.
+func (s *Store) VerifyAll() []string {
+	var bad []string
+	for _, d := range s.Digests() {
+		if _, err := s.Get(d); err != nil {
+			bad = append(bad, d)
+		}
+	}
+	return bad
+}
+
+// Corrupt flips a byte inside a stored blob — a fault-injection hook for
+// testing fixity detection (bit rot on archival media).
+func (s *Store) Corrupt(digest string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[digest]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, digest)
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("cas: blob %s empty", digest)
+	}
+	b[len(b)/2] ^= 0xFF
+	return nil
+}
+
+// Persist writes the store to w: a stream of
+// (digestLen, digest, logicalLen, compLen, compressed bytes) records.
+func (s *Store) Persist(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	digests := make([]string, 0, len(s.blobs))
+	for d := range s.blobs {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	for _, d := range digests {
+		comp := s.blobs[d]
+		hdr := make([]byte, 2+len(d)+8+8)
+		binary.LittleEndian.PutUint16(hdr, uint16(len(d)))
+		copy(hdr[2:], d)
+		binary.LittleEndian.PutUint64(hdr[2+len(d):], uint64(s.logical[d]))
+		binary.LittleEndian.PutUint64(hdr[2+len(d)+8:], uint64(len(comp)))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := w.Write(comp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a persisted store and verifies every blob.
+func Load(r io.Reader) (*Store, error) {
+	s := NewStore()
+	for {
+		var lenBuf [2]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("cas: loading: %w", err)
+		}
+		dl := int(binary.LittleEndian.Uint16(lenBuf[:]))
+		if dl == 0 || dl > 128 {
+			return nil, fmt.Errorf("cas: loading: implausible digest length %d", dl)
+		}
+		rest := make([]byte, dl+16)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, fmt.Errorf("cas: loading: %w", err)
+		}
+		digest := string(rest[:dl])
+		logical := int64(binary.LittleEndian.Uint64(rest[dl:]))
+		compLen := binary.LittleEndian.Uint64(rest[dl+8:])
+		if compLen > 1<<32 {
+			return nil, fmt.Errorf("cas: loading: implausible blob size %d", compLen)
+		}
+		comp := make([]byte, compLen)
+		if _, err := io.ReadFull(r, comp); err != nil {
+			return nil, fmt.Errorf("cas: loading: %w", err)
+		}
+		s.blobs[digest] = comp
+		s.logical[digest] = logical
+	}
+	if bad := s.VerifyAll(); len(bad) > 0 {
+		return nil, fmt.Errorf("%w: %d blobs failed fixity on load", ErrCorrupt, len(bad))
+	}
+	return s, nil
+}

@@ -1,0 +1,255 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"daspos/internal/xrand"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewStore()
+	data := []byte("the preserved analysis payload")
+	d, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch")
+	}
+	if !s.Has(d) || s.Has("nope") {
+		t.Fatal("Has broken")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := NewStore()
+	if err := quick.Check(func(data []byte) bool {
+		d, err := s.Put(data)
+		if err != nil {
+			return false
+		}
+		got, err := s.Get(d)
+		return err == nil && bytes.Equal(got, data)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	s := NewStore()
+	data := bytes.Repeat([]byte("x"), 10000)
+	d1, _ := s.Put(data)
+	d2, _ := s.Put(append([]byte(nil), data...))
+	if d1 != d2 {
+		t.Fatal("same content, different digests")
+	}
+	st := s.Stats()
+	if st.Blobs != 1 {
+		t.Fatalf("blobs %d", st.Blobs)
+	}
+	if st.LogicalBytes != 10000 {
+		t.Fatalf("logical %d", st.LogicalBytes)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	s := NewStore()
+	// Highly compressible payload.
+	if _, err := s.Put(bytes.Repeat([]byte("abcd"), 25000)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CompressionRatio() < 5 {
+		t.Fatalf("compression ratio %v on repetitive data", st.CompressionRatio())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Get("deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := NewStore()
+	r := xrand.New(1)
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	d, _ := s.Put(data)
+	if err := s.Corrupt(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(d); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+	bad := s.VerifyAll()
+	if len(bad) != 1 || bad[0] != d {
+		t.Fatalf("VerifyAll: %v", bad)
+	}
+	if err := s.Corrupt("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt missing: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	d, _ := s.Put([]byte("x"))
+	s.Delete(d)
+	if s.Has(d) {
+		t.Fatal("deleted blob present")
+	}
+	s.Delete("nope") // no-op
+	if s.Stats().Blobs != 0 {
+		t.Fatal("stats after delete")
+	}
+}
+
+func TestDigestsSorted(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		if _, err := s.Put([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := s.Digests()
+	if len(ds) != 20 {
+		t.Fatalf("digests %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] <= ds[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestPersistLoad(t *testing.T) {
+	s := NewStore()
+	r := xrand.New(2)
+	var digests []string
+	for i := 0; i < 30; i++ {
+		data := make([]byte, 100+r.Intn(5000))
+		for j := range data {
+			data[j] = byte(r.Uint64())
+		}
+		d, err := s.Put(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	var buf bytes.Buffer
+	if err := s.Persist(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats() != s.Stats() {
+		t.Fatalf("stats after load: %+v vs %+v", got.Stats(), s.Stats())
+	}
+	for _, d := range digests {
+		a, _ := s.Get(d)
+		b, err := got.Get(d)
+		if err != nil || !bytes.Equal(a, b) {
+			t.Fatalf("blob %s differs after reload", d)
+		}
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	s := NewStore()
+	d, _ := s.Put(bytes.Repeat([]byte("payload"), 100))
+	_ = s.Corrupt(d)
+	var buf bytes.Buffer
+	_ = s.Persist(&buf)
+	if _, err := Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt store loaded: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{0xFF, 0xFF, 0x01})); err == nil {
+		t.Fatal("garbage loaded")
+	}
+	// Truncated stream.
+	s := NewStore()
+	_, _ = s.Put([]byte("hello world hello world"))
+	var buf bytes.Buffer
+	_ = s.Persist(&buf)
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Fatal("truncated stream loaded")
+	}
+	// Empty stream is a valid empty store.
+	empty, err := Load(bytes.NewReader(nil))
+	if err != nil || empty.Stats().Blobs != 0 {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.New(uint64(w))
+			for i := 0; i < 200; i++ {
+				data := []byte{byte(w), byte(i), byte(r.Uint64())}
+				d, err := s.Put(data)
+				if err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				got, err := s.Get(d)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPut64K(b *testing.B) {
+	r := xrand.New(1)
+	data := make([]byte, 64<<10)
+	for i := range data {
+		data[i] = byte(r.Uint64() >> 56) // compressible-ish
+	}
+	s := NewStore()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i) // defeat dedup
+		if _, err := s.Put(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet64K(b *testing.B) {
+	s := NewStore()
+	data := bytes.Repeat([]byte("daspos"), 11000)
+	d, _ := s.Put(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package catalog implements the dataset and file catalogue: the
+// bookkeeping layer every experiment in the paper's workflow survey runs
+// between its processing steps. Datasets group files of one tier and one
+// processing version; parent links record which dataset each was derived
+// from, complementing the per-artifact provenance chain with the
+// dataset-level view an analyst actually queries ("which AOD version is
+// this skim based on, and on which raw runs is that based?").
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FileEntry is one file of a dataset.
+type FileEntry struct {
+	// LFN is the logical file name, unique within the dataset.
+	LFN string `json:"lfn"`
+	// Digest is the content address of the file (links into CAS/archive).
+	Digest string `json:"digest"`
+	Bytes  int64  `json:"bytes"`
+	Events int    `json:"events"`
+}
+
+// Dataset groups the files of one processing output.
+type Dataset struct {
+	// Name is the dataset path, e.g. "/mc/zmumu/AOD/v3".
+	Name string `json:"name"`
+	// Tier is the data-tier label.
+	Tier string `json:"tier"`
+	// ProcessingVersion identifies the pass that made it.
+	ProcessingVersion string `json:"processing_version"`
+	// ConditionsTag pins the calibration used.
+	ConditionsTag string `json:"conditions_tag,omitempty"`
+	// Parent names the dataset this one was derived from; empty for
+	// primary data.
+	Parent string `json:"parent,omitempty"`
+	// ProvenanceRecord links the dataset to its provenance chain.
+	ProvenanceRecord string `json:"provenance_record,omitempty"`
+	// Closed datasets are immutable: production has finished.
+	Closed bool `json:"closed"`
+	// Metadata holds free-form discovery keys.
+	Metadata map[string]string `json:"metadata,omitempty"`
+	Files    []FileEntry       `json:"files"`
+}
+
+// TotalEvents sums the dataset's event counts.
+func (d *Dataset) TotalEvents() int {
+	n := 0
+	for _, f := range d.Files {
+		n += f.Events
+	}
+	return n
+}
+
+// TotalBytes sums the dataset's file sizes.
+func (d *Dataset) TotalBytes() int64 {
+	var n int64
+	for _, f := range d.Files {
+		n += f.Bytes
+	}
+	return n
+}
+
+// Errors returned by the catalogue.
+var (
+	ErrNoDataset = errors.New("catalog: no such dataset")
+	ErrClosed    = errors.New("catalog: dataset is closed")
+)
+
+// Catalog is the dataset store. Not safe for concurrent mutation.
+type Catalog struct {
+	datasets map[string]*Dataset
+}
+
+// New returns an empty catalogue.
+func New() *Catalog {
+	return &Catalog{datasets: make(map[string]*Dataset)}
+}
+
+// Create registers a new, open dataset. The parent, when named, must
+// already exist.
+func (c *Catalog) Create(d Dataset) error {
+	if !strings.HasPrefix(d.Name, "/") {
+		return fmt.Errorf("catalog: dataset name %q must be a path", d.Name)
+	}
+	if d.Tier == "" {
+		return fmt.Errorf("catalog: dataset %q needs a tier", d.Name)
+	}
+	if _, dup := c.datasets[d.Name]; dup {
+		return fmt.Errorf("catalog: dataset %q already exists", d.Name)
+	}
+	if d.Parent != "" {
+		if _, ok := c.datasets[d.Parent]; !ok {
+			return fmt.Errorf("%w: parent %q of %q", ErrNoDataset, d.Parent, d.Name)
+		}
+	}
+	if len(d.Files) != 0 {
+		return fmt.Errorf("catalog: create dataset %q empty, then AddFile", d.Name)
+	}
+	d.Closed = false
+	cp := d
+	c.datasets[d.Name] = &cp
+	return nil
+}
+
+// AddFile appends a file to an open dataset. LFNs must be unique within
+// the dataset.
+func (c *Catalog) AddFile(dataset string, f FileEntry) error {
+	d, ok := c.datasets[dataset]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDataset, dataset)
+	}
+	if d.Closed {
+		return fmt.Errorf("%w: %s", ErrClosed, dataset)
+	}
+	if f.LFN == "" {
+		return fmt.Errorf("catalog: file in %q needs an LFN", dataset)
+	}
+	for _, existing := range d.Files {
+		if existing.LFN == f.LFN {
+			return fmt.Errorf("catalog: duplicate LFN %q in %q", f.LFN, dataset)
+		}
+	}
+	d.Files = append(d.Files, f)
+	return nil
+}
+
+// Close freezes a dataset; further AddFile calls fail.
+func (c *Catalog) Close(dataset string) error {
+	d, ok := c.datasets[dataset]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDataset, dataset)
+	}
+	d.Closed = true
+	return nil
+}
+
+// Get returns a copy of the dataset.
+func (c *Catalog) Get(name string) (Dataset, bool) {
+	d, ok := c.datasets[name]
+	if !ok {
+		return Dataset{}, false
+	}
+	cp := *d
+	cp.Files = append([]FileEntry(nil), d.Files...)
+	return cp, true
+}
+
+// Names returns the sorted dataset names.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.datasets))
+	for n := range c.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query returns datasets matching the tier (empty matches all) and every
+// given metadata key/value.
+func (c *Catalog) Query(tier string, metadata map[string]string) []Dataset {
+	var out []Dataset
+	for _, name := range c.Names() {
+		d := c.datasets[name]
+		if tier != "" && d.Tier != tier {
+			continue
+		}
+		match := true
+		for k, v := range metadata {
+			if d.Metadata[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			cp, _ := c.Get(name)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// Lineage walks parent links from a dataset to its primary ancestor,
+// returning the chain starting with the dataset itself.
+func (c *Catalog) Lineage(name string) ([]Dataset, error) {
+	seen := make(map[string]bool)
+	var out []Dataset
+	for name != "" {
+		if seen[name] {
+			return nil, fmt.Errorf("catalog: parent cycle at %q", name)
+		}
+		seen[name] = true
+		d, ok := c.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoDataset, name)
+		}
+		out = append(out, d)
+		name = d.Parent
+	}
+	return out, nil
+}
+
+// Children returns the names of datasets directly derived from the given
+// one, sorted.
+func (c *Catalog) Children(name string) []string {
+	var out []string
+	for _, n := range c.Names() {
+		if c.datasets[n].Parent == name {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// WriteJSON persists the catalogue.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	var all []*Dataset
+	for _, n := range c.Names() {
+		all = append(all, c.datasets[n])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// ReadJSON loads a catalogue and re-validates parent links.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var all []*Dataset
+	if err := json.NewDecoder(r).Decode(&all); err != nil {
+		return nil, fmt.Errorf("catalog: parsing: %w", err)
+	}
+	c := New()
+	for _, d := range all {
+		c.datasets[d.Name] = d
+	}
+	for _, d := range all {
+		if d.Parent != "" {
+			if _, ok := c.datasets[d.Parent]; !ok {
+				return nil, fmt.Errorf("%w: parent %q of %q missing on load", ErrNoDataset, d.Parent, d.Name)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,68 @@
+package conditions
+
+import (
+	"fmt"
+
+	"daspos/internal/xrand"
+)
+
+// Standard folder names used by the reconstruction chain. Enumerating them
+// here keeps the external-dependency census (experiment W2) honest: these
+// are exactly the databases the Reconstruction step needs.
+const (
+	FolderECalScale    = "calo/ecal_scale"
+	FolderHCalScale    = "calo/hcal_scale"
+	FolderTrackerAlign = "tracker/alignment"
+	FolderBeamspot     = "beam/spot"
+	FolderMuonAlign    = "muon/alignment"
+)
+
+// StandardFolders lists every folder the reconstruction chain reads.
+func StandardFolders() []string {
+	return []string{FolderECalScale, FolderHCalScale, FolderTrackerAlign, FolderBeamspot, FolderMuonAlign}
+}
+
+// SeedStandard populates a database with drifting calibration constants for
+// runs [firstRun, lastRun] under the given tag, one IoV per calibration
+// period of periodLen runs. The drift is deterministic in the seed, so a
+// preserved workflow that records (tag, seed) reproduces its calibration
+// exactly.
+func SeedStandard(db *DB, tag string, firstRun, lastRun uint32, periodLen uint32, seed uint64) error {
+	if periodLen == 0 {
+		return fmt.Errorf("conditions: zero period length")
+	}
+	rng := xrand.New(seed ^ 0xca11b)
+	ecalScale, hcalScale := 1.0, 1.0
+	alignX, alignY := 0.0, 0.0
+	for start := firstRun; start <= lastRun; start += periodLen {
+		end := start + periodLen - 1
+		if end > lastRun {
+			end = lastRun
+		}
+		iov := IoV{First: start, Last: end}
+		// Scales drift by a fraction of a percent per period.
+		ecalScale *= 1 + rng.Gauss(0, 0.002)
+		hcalScale *= 1 + rng.Gauss(0, 0.004)
+		alignX += rng.Gauss(0, 0.002)
+		alignY += rng.Gauss(0, 0.002)
+		stores := []struct {
+			folder  string
+			payload Payload
+		}{
+			{FolderECalScale, Payload{"scale": ecalScale, "offset": rng.Gauss(0, 0.01)}},
+			{FolderHCalScale, Payload{"scale": hcalScale, "offset": rng.Gauss(0, 0.05)}},
+			{FolderTrackerAlign, Payload{"dx": alignX, "dy": alignY, "dz": rng.Gauss(0, 0.01)}},
+			{FolderBeamspot, Payload{"x": rng.Gauss(0, 0.01), "y": rng.Gauss(0, 0.01), "z": rng.Gauss(0, 5), "sigma_z": 45}},
+			{FolderMuonAlign, Payload{"dphi": rng.Gauss(0, 1e-4)}},
+		}
+		for _, s := range stores {
+			if err := db.Store(s.folder, tag, iov, s.payload); err != nil {
+				return err
+			}
+		}
+		if end == lastRun {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+// Package core implements the DASPOS analysis capsule: the project's
+// central artifact, binding together everything the paper says a properly
+// curated preserved analysis needs — the machine-readable analysis record
+// (object definitions, cuts, statistics inputs), the archived reference
+// data it was validated against, the captured software environment, the
+// provenance chain of the data it was derived from, and the workflow
+// description that produced it.
+//
+// A capsule round-trips through the preservation archive as a
+// fixity-checked package, and everything needed to reuse it decades later
+// is resolvable from the capsule alone: Reinterpret applies the archived
+// selection to new events, Validate re-checks a fresh run against the
+// reference data, and CheckEnvironment answers whether the heavyweight
+// tier still runs on today's platform.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"daspos/internal/archive"
+	"daspos/internal/datamodel"
+	"daspos/internal/envcapture"
+	"daspos/internal/hist"
+	"daspos/internal/leshouches"
+	"daspos/internal/provenance"
+	"daspos/internal/stats"
+)
+
+// Canonical paths inside an archived capsule package.
+const (
+	PathAnalysis    = "analysis/record.json"
+	PathReference   = "analysis/reference.yoda"
+	PathEnvironment = "env/manifest.json"
+	PathProvenance  = "prov/chain.json"
+	PathWorkflow    = "workflow/description.json"
+	PathReadme      = "README.md"
+)
+
+// Capsule is one complete preserved analysis.
+type Capsule struct {
+	// Title, Creator, and Description populate the archive metadata.
+	Title       string
+	Creator     string
+	Description string
+	// ConditionsTag pins the calibration the original processing used.
+	ConditionsTag string
+	// Analysis is the machine-readable analysis record.
+	Analysis *leshouches.AnalysisRecord
+	// Reference is the archived reference data (YODA text), used to
+	// validate re-runs.
+	Reference []byte
+	// Environment is the captured software environment, when recorded.
+	Environment *envcapture.Manifest
+	// Provenance is the chain of the data products, when recorded.
+	Provenance *provenance.Store
+	// Workflow is the preserved workflow description (JSON), when
+	// recorded.
+	Workflow []byte
+	// Readme is the human-facing documentation.
+	Readme string
+}
+
+// Validate checks the capsule has its required parts.
+func (c *Capsule) Validate() error {
+	if c.Title == "" {
+		return fmt.Errorf("core: capsule needs a title")
+	}
+	if c.Analysis == nil {
+		return fmt.Errorf("core: capsule %q has no analysis record", c.Title)
+	}
+	if err := c.Analysis.Validate(); err != nil {
+		return err
+	}
+	if len(c.Reference) == 0 {
+		return fmt.Errorf("core: capsule %q has no reference data", c.Title)
+	}
+	if _, err := hist.ReadAll(bytes.NewReader(c.Reference)); err != nil {
+		return fmt.Errorf("core: capsule %q reference data unreadable: %w", c.Title, err)
+	}
+	return nil
+}
+
+// Files serializes the capsule's parts into archive payload files.
+func (c *Capsule) Files() (map[string][]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	files := make(map[string][]byte)
+	rec, err := c.Analysis.Encode()
+	if err != nil {
+		return nil, err
+	}
+	files[PathAnalysis] = rec
+	files[PathReference] = append([]byte(nil), c.Reference...)
+	if c.Environment != nil {
+		env, err := c.Environment.Encode()
+		if err != nil {
+			return nil, err
+		}
+		files[PathEnvironment] = env
+	}
+	if c.Provenance != nil {
+		var buf bytes.Buffer
+		if err := c.Provenance.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		files[PathProvenance] = buf.Bytes()
+	}
+	if len(c.Workflow) > 0 {
+		files[PathWorkflow] = append([]byte(nil), c.Workflow...)
+	}
+	readme := c.Readme
+	if readme == "" {
+		readme = fmt.Sprintf("# %s\n\n%s\n\nPreserved with DASPOS; see %s for the analysis record.\n",
+			c.Title, c.Description, PathAnalysis)
+	}
+	files[PathReadme] = []byte(readme)
+	return files, nil
+}
+
+// Ingest stores the capsule in a preservation archive and returns the
+// package ID.
+func (c *Capsule) Ingest(a *archive.Archive) (string, error) {
+	files, err := c.Files()
+	if err != nil {
+		return "", err
+	}
+	meta := archive.Metadata{
+		Title:         c.Title,
+		Creator:       c.Creator,
+		Description:   c.Description,
+		Level:         datamodel.DPHEPLevel3,
+		ConditionsTag: c.ConditionsTag,
+		Keywords:      []string{"daspos-capsule", c.Analysis.Name},
+	}
+	if _, ok := files[PathEnvironment]; ok {
+		meta.EnvManifest = PathEnvironment
+	}
+	if _, ok := files[PathProvenance]; ok {
+		meta.Provenance = PathProvenance
+	}
+	return a.Ingest(meta, files)
+}
+
+// ErrNotCapsule is returned when loading a package that is not a capsule.
+var ErrNotCapsule = errors.New("core: package is not a daspos capsule")
+
+// FromArchive reconstructs a capsule from an archived package.
+func FromArchive(a *archive.Archive, id string) (*Capsule, error) {
+	pkg, ok := a.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no package %s", id)
+	}
+	if pkg.File(PathAnalysis) == nil || pkg.File(PathReference) == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotCapsule, id)
+	}
+	c := &Capsule{
+		Title:         pkg.Metadata.Title,
+		Creator:       pkg.Metadata.Creator,
+		Description:   pkg.Metadata.Description,
+		ConditionsTag: pkg.Metadata.ConditionsTag,
+	}
+	recData, err := a.Fetch(id, PathAnalysis)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := leshouches.DecodeRecord(recData)
+	if err != nil {
+		return nil, err
+	}
+	c.Analysis = rec
+	if c.Reference, err = a.Fetch(id, PathReference); err != nil {
+		return nil, err
+	}
+	if pkg.File(PathEnvironment) != nil {
+		data, err := a.Fetch(id, PathEnvironment)
+		if err != nil {
+			return nil, err
+		}
+		if c.Environment, err = envcapture.Decode(data); err != nil {
+			return nil, err
+		}
+	}
+	if pkg.File(PathProvenance) != nil {
+		data, err := a.Fetch(id, PathProvenance)
+		if err != nil {
+			return nil, err
+		}
+		if c.Provenance, err = provenance.ReadJSON(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+	}
+	if pkg.File(PathWorkflow) != nil {
+		if c.Workflow, err = a.Fetch(id, PathWorkflow); err != nil {
+			return nil, err
+		}
+	}
+	if pkg.File(PathReadme) != nil {
+		data, err := a.Fetch(id, PathReadme)
+		if err != nil {
+			return nil, err
+		}
+		c.Readme = string(data)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Reinterpret applies the capsule's archived selection to new-model events
+// (the theorist use case) at the given integrated luminosity in /pb.
+func (c *Capsule) Reinterpret(events []*datamodel.Event, luminosityPb float64) (leshouches.Reinterpretation, error) {
+	return leshouches.Reinterpret(c.Analysis, events, luminosityPb)
+}
+
+// ValidationOutcome compares one fresh histogram against the capsule's
+// reference.
+type ValidationOutcome struct {
+	Histogram string
+	Chi2      stats.Chi2Result
+	// MissingReference marks histograms absent from the reference data.
+	MissingReference bool
+}
+
+// ValidateRerun shape-compares freshly produced histograms against the
+// capsule's archived reference data: the "re-run at any time ... for
+// validation purposes" property.
+func (c *Capsule) ValidateRerun(fresh []*hist.H1D) ([]ValidationOutcome, error) {
+	refs, err := hist.ReadAll(bytes.NewReader(c.Reference))
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*hist.H1D, len(refs))
+	for _, h := range refs {
+		byName[h.Name] = h
+	}
+	var out []ValidationOutcome
+	for _, h := range fresh {
+		ref, ok := byName[h.Name]
+		if !ok {
+			out = append(out, ValidationOutcome{Histogram: h.Name, MissingReference: true})
+			continue
+		}
+		a := h.Clone()
+		b := ref.Clone()
+		a.Normalize(1)
+		b.Normalize(1)
+		res, err := stats.Chi2WithErrors(a.Values(), a.Errors(), b.Values(), b.Errors())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ValidationOutcome{Histogram: h.Name, Chi2: res})
+	}
+	return out, nil
+}
+
+// CheckEnvironment plans the capsule's migration to a target platform:
+// whether the heavyweight tier still runs, and what must be upgraded.
+// It fails when the capsule carries no environment manifest — exactly the
+// preservation gap the paper warns about.
+func (c *Capsule) CheckEnvironment(reg *envcapture.Registry, target envcapture.Platform) (envcapture.MigrationReport, error) {
+	if c.Environment == nil {
+		return envcapture.MigrationReport{}, fmt.Errorf("core: capsule %q has no environment manifest", c.Title)
+	}
+	return envcapture.PlanMigration(reg, c.Environment, target), nil
+}
+
+// AuditProvenance reports chain completeness for the capsule's recorded
+// provenance; absent provenance is the worst case (zero records).
+func (c *Capsule) AuditProvenance() provenance.AuditReport {
+	if c.Provenance == nil {
+		return provenance.AuditReport{}
+	}
+	return c.Provenance.Audit()
+}

@@ -1,0 +1,254 @@
+package datamodel
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"daspos/internal/fourvec"
+	"daspos/internal/xrand"
+)
+
+// fakeRecoEvent builds a RECO-tier event with deterministic content.
+func fakeRecoEvent(rng *xrand.Rand, number uint64) *Event {
+	e := &Event{Run: 100, Number: number, Tier: TierRECO, ProcessID: 3}
+	nTracks := 20 + rng.Intn(30)
+	for i := 0; i < nTracks; i++ {
+		e.Tracks = append(e.Tracks, Track{
+			P:      fourvec.PtEtaPhiM(rng.Range(0.5, 40), rng.Range(-2.5, 2.5), rng.Range(-3, 3), 0.14),
+			Charge: float64(1 - 2*rng.Intn(2)),
+			D0:     rng.Gauss(0, 0.05),
+			Z0:     rng.Gauss(0, 30),
+			NHits:  5 + rng.Intn(5),
+			Chi2:   rng.Exp(1.2),
+		})
+	}
+	for i := 0; i < 3+rng.Intn(4); i++ {
+		e.Vertices = append(e.Vertices, VertexFit{Z: rng.Gauss(0, 40), NTracks: 2 + rng.Intn(20), Chi2: rng.Exp(1)})
+	}
+	for i := 0; i < 15+rng.Intn(20); i++ {
+		e.Clusters = append(e.Clusters, Cluster{E: rng.Exp(10), Eta: rng.Range(-3, 3), Phi: rng.Range(-3, 3), EM: rng.Bool(0.6), NCells: 1 + rng.Intn(9)})
+	}
+	e.Candidates = append(e.Candidates,
+		Candidate{Type: ObjMuon, P: fourvec.PtEtaPhiM(35, 0.4, 1.0, 0.105), Charge: -1, Quality: 0.95, Isolation: 1.1},
+		Candidate{Type: ObjMuon, P: fourvec.PtEtaPhiM(28, -0.8, -2.0, 0.105), Charge: 1, Quality: 0.9, Isolation: 2.0},
+		Candidate{Type: ObjJet, P: fourvec.PtEtaPhiM(60, 1.2, 0.3, 8), Quality: 0.8},
+	)
+	e.Missing = MET{Pt: 12, Phi: 0.7, SumEt: 250}
+	e.Aux = map[string]float64{"ht": 300}
+	return e
+}
+
+func TestTierAndLevelStrings(t *testing.T) {
+	if TierRAW.String() != "RAW" || TierDerived.String() != "DERIVED" {
+		t.Fatal("tier names")
+	}
+	if Tier(99).String() != "tier(99)" {
+		t.Fatal("unknown tier name")
+	}
+	if DPHEPLevel2.String() != "L2:simplified" {
+		t.Fatal("level names")
+	}
+	if LevelForTier(TierRAW) != DPHEPLevel4 {
+		t.Fatal("RAW must map to level 4")
+	}
+	if LevelForTier(TierAOD) != DPHEPLevel3 {
+		t.Fatal("AOD must map to level 3")
+	}
+	if LevelForTier(TierDerived) != DPHEPLevel2 {
+		t.Fatal("derived must map to level 2")
+	}
+}
+
+func TestObjectTypeStrings(t *testing.T) {
+	for ot := ObjElectron; ot <= ObjTrackCandidate; ot++ {
+		if ot.String() == "" {
+			t.Fatalf("empty name for %d", int(ot))
+		}
+	}
+	if ObjectType(42).String() != "object(42)" {
+		t.Fatal("unknown object name")
+	}
+}
+
+func TestCandidateQueries(t *testing.T) {
+	e := fakeRecoEvent(xrand.New(1), 1)
+	mus := e.CandidatesOf(ObjMuon)
+	if len(mus) != 2 {
+		t.Fatalf("muons: %d", len(mus))
+	}
+	lead, ok := e.LeadingCandidate(ObjMuon)
+	if !ok || lead.P.Pt() < 30 {
+		t.Fatalf("leading muon: %+v ok=%v", lead, ok)
+	}
+	if _, ok := e.LeadingCandidate(ObjElectron); ok {
+		t.Fatal("phantom electron")
+	}
+}
+
+func TestPrimaryVertex(t *testing.T) {
+	e := &Event{Vertices: []VertexFit{{NTracks: 3}, {NTracks: 17}, {NTracks: 5}}}
+	pv, ok := e.PrimaryVertex()
+	if !ok || pv.NTracks != 17 {
+		t.Fatalf("pv: %+v", pv)
+	}
+	if _, ok := (&Event{}).PrimaryVertex(); ok {
+		t.Fatal("vertexless event has a PV")
+	}
+}
+
+func TestSlimToAOD(t *testing.T) {
+	reco := fakeRecoEvent(xrand.New(2), 7)
+	aod := reco.SlimToAOD()
+	if aod.Tier != TierAOD {
+		t.Fatalf("tier %v", aod.Tier)
+	}
+	if len(aod.Tracks) != 0 || len(aod.Clusters) != 0 || len(aod.Vertices) != 0 {
+		t.Fatal("RECO detail leaked into AOD")
+	}
+	if len(aod.Candidates) != len(reco.Candidates) {
+		t.Fatal("candidates lost in slimming")
+	}
+	// Immutability: the source event is untouched, and the copies do not
+	// alias.
+	if reco.Tier != TierRECO || len(reco.Tracks) == 0 {
+		t.Fatal("slimming mutated the source")
+	}
+	aod.Candidates[0].Quality = -1
+	aod.Aux["ht"] = -1
+	if reco.Candidates[0].Quality == -1 || reco.Aux["ht"] == -1 {
+		t.Fatal("AOD aliases RECO storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	e := fakeRecoEvent(xrand.New(3), 1)
+	c := e.Clone()
+	c.Tracks[0].NHits = 99
+	c.Aux["ht"] = -5
+	if e.Tracks[0].NHits == 99 || e.Aux["ht"] == -5 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := xrand.New(4)
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		events = append(events, fakeRecoEvent(rng, uint64(i)))
+	}
+	var buf bytes.Buffer
+	n, err := WriteEvents(&buf, TierRECO, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported size %d != buffer %d", n, buf.Len())
+	}
+	tier, got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != TierRECO {
+		t.Fatalf("tier %v", tier)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("count %d", len(got))
+	}
+	for i := range got {
+		if got[i].Number != events[i].Number || len(got[i].Tracks) != len(events[i].Tracks) {
+			t.Fatalf("event %d mismatch", i)
+		}
+		if got[i].Aux["ht"] != events[i].Aux["ht"] {
+			t.Fatalf("event %d aux lost", i)
+		}
+	}
+}
+
+func TestFileWriterRejectsTierMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, TierAOD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fakeRecoEvent(xrand.New(5), 1) // RECO tier
+	if err := fw.Write(e); err == nil {
+		t.Fatal("tier mismatch accepted")
+	}
+	if fw.Count() != 0 {
+		t.Fatal("failed write counted")
+	}
+}
+
+func TestFileReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewFileWriter(&buf, TierAOD); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("empty file read: %v", err)
+	}
+}
+
+func TestTierSizeOrdering(t *testing.T) {
+	// The W1 premise at the EDM level: RECO encodes larger than its AOD
+	// slim for the same events.
+	rng := xrand.New(6)
+	var reco, aod []*Event
+	for i := 0; i < 20; i++ {
+		r := fakeRecoEvent(rng, uint64(i))
+		reco = append(reco, r)
+		aod = append(aod, r.SlimToAOD())
+	}
+	nReco, err := EncodedSize(TierRECO, reco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAOD, err := EncodedSize(TierAOD, aod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nReco < 2*nAOD {
+		t.Fatalf("RECO (%d) not ≫ AOD (%d)", nReco, nAOD)
+	}
+}
+
+func TestJSONEventRoundTrip(t *testing.T) {
+	e := fakeRecoEvent(xrand.New(7), 3).SlimToAOD()
+	data, err := MarshalJSONEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalJSONEvent(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Number != e.Number || len(got.Candidates) != len(e.Candidates) {
+		t.Fatal("JSON round trip lost content")
+	}
+	if _, err := UnmarshalJSONEvent([]byte("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func BenchmarkWriteRECO(b *testing.B) {
+	rng := xrand.New(1)
+	events := []*Event{fakeRecoEvent(rng, 1)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WriteEvents(&buf, TierRECO, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

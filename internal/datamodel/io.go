@@ -1,0 +1,171 @@
+package datamodel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event files are gob streams with a small typed header. gob keeps the
+// container self-describing (field renames surface as decode errors rather
+// than silent corruption) while staying entirely inside the standard
+// library — the "no exotic dependencies" property the paper's preservation
+// discussion prizes.
+
+// fileHeader identifies the stream and pins the tier so a reader cannot
+// mistake a RECO file for an AOD file.
+type fileHeader struct {
+	Magic   string
+	Version int
+	Tier    Tier
+}
+
+const (
+	fileMagic   = "DASPOS-EDM"
+	fileVersion = 1
+)
+
+// FileWriter writes a homogeneous stream of events of one tier.
+type FileWriter struct {
+	enc  *gob.Encoder
+	tier Tier
+	n    int
+}
+
+// NewFileWriter starts an event file of the given tier on w.
+func NewFileWriter(w io.Writer, tier Tier) (*FileWriter, error) {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: fileVersion, Tier: tier}); err != nil {
+		return nil, fmt.Errorf("datamodel: writing header: %w", err)
+	}
+	return &FileWriter{enc: enc, tier: tier}, nil
+}
+
+// Write appends one event. The event's tier must match the file's.
+func (w *FileWriter) Write(e *Event) error {
+	if e.Tier != w.tier {
+		return fmt.Errorf("datamodel: event tier %v in %v file", e.Tier, w.tier)
+	}
+	if err := w.enc.Encode(e); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *FileWriter) Count() int { return w.n }
+
+// FileReader reads an event file.
+type FileReader struct {
+	dec  *gob.Decoder
+	tier Tier
+}
+
+// NewFileReader opens an event stream, validating the header.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	dec := gob.NewDecoder(r)
+	var h fileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("datamodel: reading header: %w", err)
+	}
+	if h.Magic != fileMagic {
+		return nil, fmt.Errorf("datamodel: bad magic %q", h.Magic)
+	}
+	if h.Version != fileVersion {
+		return nil, fmt.Errorf("datamodel: unsupported version %d", h.Version)
+	}
+	return &FileReader{dec: dec, tier: h.Tier}, nil
+}
+
+// Tier returns the file's declared tier.
+func (r *FileReader) Tier() Tier { return r.tier }
+
+// Read returns the next event, or io.EOF at end of stream.
+func (r *FileReader) Read() (*Event, error) {
+	var e Event
+	if err := r.dec.Decode(&e); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("datamodel: decoding event: %w", err)
+	}
+	return &e, nil
+}
+
+// ReadAll drains the stream.
+func (r *FileReader) ReadAll() ([]*Event, error) {
+	var out []*Event
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// WriteEvents writes a slice of same-tier events as one file and reports
+// the encoded byte count — the primitive behind the tier-size cascade of
+// experiment W1.
+func WriteEvents(w io.Writer, tier Tier, events []*Event) (int64, error) {
+	cw := &countingWriter{w: w}
+	fw, err := NewFileWriter(cw, tier)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range events {
+		if err := fw.Write(e); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadEvents reads a whole event file.
+func ReadEvents(r io.Reader) (Tier, []*Event, error) {
+	fr, err := NewFileReader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	events, err := fr.ReadAll()
+	return fr.Tier(), events, err
+}
+
+// EncodedSize returns the serialized size in bytes of the events as one
+// file of the given tier.
+func EncodedSize(tier Tier, events []*Event) (int64, error) {
+	var buf bytes.Buffer
+	return WriteEvents(&buf, tier, events)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// MarshalJSONEvent renders one event as indented JSON: the human-readable
+// Level 2 export format consumed by the outreach converter.
+func MarshalJSONEvent(e *Event) ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// UnmarshalJSONEvent parses an event from its JSON form.
+func UnmarshalJSONEvent(data []byte) (*Event, error) {
+	var e Event
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("datamodel: parsing JSON event: %w", err)
+	}
+	return &e, nil
+}

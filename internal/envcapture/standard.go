@@ -1,0 +1,50 @@
+package envcapture
+
+// StandardPlatforms returns the platform generations the archive has seen:
+// the succession of computing environments the paper's migration risk is
+// about.
+func StandardPlatforms() (old, current, next Platform) {
+	return Platform{OS: "slc5", Arch: "x86_64", Runtime: "gcc4.3"},
+		Platform{OS: "slc6", Arch: "x86_64", Runtime: "gcc4.8"},
+		Platform{OS: "centos7", Arch: "x86_64", Runtime: "gcc8"}
+}
+
+// StandardRegistry returns the package universe of the toy experiment
+// stack: the generator, simulation, reconstruction, and analysis releases
+// the workflows pin, with realistic platform-support gaps (old releases
+// were never ported forward).
+func StandardRegistry() *Registry {
+	old, cur, next := StandardPlatforms()
+	all := []Platform{old, cur, next}
+	oldOnly := []Platform{old}
+	curOnly := []Platform{old, cur}
+	reg := NewRegistry()
+	add := func(name, version string, platforms []Platform, deps ...PkgRef) {
+		reg.Add(Package{PkgRef: PkgRef{Name: name, Version: version}, Deps: deps, Platforms: platforms})
+	}
+	add("histlib", "5.34", curOnly)
+	add("histlib", "6.10", all)
+	add("hepmc-io", "1.0", all)
+	add("cond-client", "2.1", oldOnly)
+	add("cond-client", "2.4", all)
+	add("daspos-generator", "2.0", all, PkgRef{"hepmc-io", "1.0"})
+	add("daspos-fullsim", "1.4.0", curOnly,
+		PkgRef{"hepmc-io", "1.0"}, PkgRef{"cond-client", "2.4"})
+	add("daspos-fullsim", "1.5.0", all,
+		PkgRef{"hepmc-io", "1.0"}, PkgRef{"cond-client", "2.4"})
+	add("daspos-fastsim", "0.9.2", all, PkgRef{"hepmc-io", "1.0"})
+	add("daspos-reco", "3.2.1", curOnly,
+		PkgRef{"cond-client", "2.4"}, PkgRef{"histlib", "6.10"})
+	add("daspos-reco", "3.3.0", all,
+		PkgRef{"cond-client", "2.4"}, PkgRef{"histlib", "6.10"})
+	add("rivet-lite", "1.2", all, PkgRef{"hepmc-io", "1.0"}, PkgRef{"histlib", "6.10"})
+	add("recast-backend", "0.7", curOnly,
+		PkgRef{"daspos-generator", "2.0"},
+		PkgRef{"daspos-fullsim", "1.4.0"},
+		PkgRef{"daspos-reco", "3.2.1"})
+	add("recast-backend", "0.8", all,
+		PkgRef{"daspos-generator", "2.0"},
+		PkgRef{"daspos-fullsim", "1.5.0"},
+		PkgRef{"daspos-reco", "3.3.0"})
+	return reg
+}

@@ -1,0 +1,325 @@
+package generator
+
+import (
+	"math"
+
+	"daspos/internal/fourvec"
+	"daspos/internal/hepmc"
+	"daspos/internal/units"
+	"daspos/internal/xrand"
+)
+
+// MinBias generates soft inelastic pp collisions: the pileup and
+// underlying-event workhorse, and the "generic tracks" sample some ALICE
+// master classes analyse.
+type MinBias struct{ base }
+
+// NewMinBias returns a minimum-bias generator.
+func NewMinBias(cfg Config) *MinBias {
+	return &MinBias{newBase(cfg, ProcMinBias)}
+}
+
+// Generate produces one soft event with charged multiplicity drawn from a
+// Poisson around the soft mean.
+func (g *MinBias) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	g.addSoftParticles(e, pv, g.rng.Poisson(25), 0.5)
+	return g.finish(e, pv)
+}
+
+// QCDDijet generates two back-to-back jets with a steeply falling pT
+// spectrum, fragmented into collimated hadrons — the dominant background
+// process every preserved search analysis must model.
+type QCDDijet struct {
+	base
+	// PtMin and PtMax bound the leading-parton transverse momentum (GeV).
+	PtMin, PtMax float64
+	// SpectrumIndex is the power-law exponent of the parton pT spectrum.
+	SpectrumIndex float64
+}
+
+// NewQCDDijet returns a dijet generator with an LHC-like falling spectrum.
+func NewQCDDijet(cfg Config) *QCDDijet {
+	return &QCDDijet{base: newBase(cfg, ProcQCDDijet), PtMin: 25, PtMax: 800, SpectrumIndex: 4.2}
+}
+
+// Generate produces one dijet event.
+func (g *QCDDijet) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	pt := g.rng.PowerLaw(g.SpectrumIndex, g.PtMin, g.PtMax)
+	eta1 := g.rng.Range(-2.5, 2.5)
+	phi1 := g.rng.Range(-math.Pi, math.Pi)
+	// Second parton approximately balances the first, with kT smearing.
+	eta2 := g.rng.Gauss(-eta1*0.3, 1.0)
+	phi2 := phi1 + math.Pi + g.rng.Gauss(0, 0.15)
+	pt2 := pt * g.rng.Range(0.85, 1.0)
+	g.fragmentJet(e, pv, fourvec.PtEtaPhiM(pt, eta1, phi1, 0))
+	g.fragmentJet(e, pv, fourvec.PtEtaPhiM(pt2, eta2, phi2, 0))
+	return g.finish(e, pv)
+}
+
+// fragmentJet splits a parton's momentum into a collimated spray of
+// detector-stable hadrons attached to vtx. The longitudinal splitting is a
+// crude Lund-inspired z sampling; the transverse spread is Gaussian around
+// the jet axis. Energy is conserved up to the last (residual) hadron.
+func (b *base) fragmentJet(e *hepmc.Event, vtx int, parton fourvec.Vec) {
+	remaining := parton.P()
+	axisEta, axisPhi := parton.Eta(), parton.Phi()
+	const minHadron = 0.25
+	for remaining > minHadron {
+		z := b.rng.Range(0.1, 0.6)
+		pmag := z * remaining
+		if remaining-pmag < minHadron {
+			pmag = remaining
+		}
+		remaining -= pmag
+		pdg := units.PDGPiPlus
+		switch {
+		case b.rng.Bool(0.10):
+			pdg = units.PDGKPlus
+		case b.rng.Bool(0.06):
+			pdg = units.PDGProton
+		case b.rng.Bool(0.25):
+			pdg = units.PDGPhoton // stand-in for pi0 -> gamma gamma
+		}
+		if units.Charge(pdg) != 0 && b.rng.Bool(0.5) {
+			pdg = -pdg
+		}
+		eta := axisEta + b.rng.Gauss(0, 0.08)
+		phi := axisPhi + b.rng.Gauss(0, 0.08)
+		m := units.Mass(pdg)
+		// Convert |p| to pT given eta: |p| = pT cosh(eta).
+		pt := pmag / math.Cosh(eta)
+		p := fourvec.PtEtaPhiM(pt, eta, phi, m)
+		e.AddParticle(pdg, hepmc.StatusFinal, p, vtx, 0)
+	}
+}
+
+// resonanceMass draws a Breit–Wigner mass constrained above the decay
+// threshold: the Cauchy tail otherwise reaches below 2·m(daughter) once in
+// tens of thousands of draws and closes the decay.
+func (b *base) resonanceMass(pole, width, minMass float64) float64 {
+	for {
+		if m := b.rng.BreitWigner(pole, width); m > minMass {
+			return m
+		}
+	}
+}
+
+// DrellYanZ generates pp → Z/γ* → ℓℓ with a Breit–Wigner line shape: the
+// canonical outreach "Z path" measurement and the standard candle every
+// experiment's analysis-preservation tutorial reconstructs.
+type DrellYanZ struct {
+	base
+	// ElectronFraction is the probability of the ee final state; the
+	// remainder decays to µµ.
+	ElectronFraction float64
+}
+
+// NewDrellYanZ returns a Z generator with equal ee/µµ branching.
+func NewDrellYanZ(cfg Config) *DrellYanZ {
+	return &DrellYanZ{base: newBase(cfg, ProcDrellYanZ), ElectronFraction: 0.5}
+}
+
+// Generate produces one Z event.
+func (g *DrellYanZ) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	pz, _ := units.Lookup(units.PDGZ)
+	lep := units.PDGMuon
+	if g.rng.Bool(g.ElectronFraction) {
+		lep = units.PDGElectron
+	}
+	mass := g.resonanceMass(pz.Mass, 2.4952, 2*units.Mass(lep)+0.01)
+	v := resonanceKinematics(g.rng, mass, 6.0)
+	dv := e.AddVertex(vertexOf(e, pv))
+	zbc := e.AddParticle(units.PDGZ, hepmc.StatusDecayed, v, pv, dv)
+	_ = zbc
+	ml := units.Mass(lep)
+	d1, d2 := twoBodyDecay(g.rng, v, ml, ml)
+	e.AddParticle(lep, hepmc.StatusFinal, d1, dv, 0)
+	e.AddParticle(-lep, hepmc.StatusFinal, d2, dv, 0)
+	return g.finish(e, pv)
+}
+
+// WLepNu generates pp → W → ℓν: the outreach "W path" and the canonical
+// missing-momentum use case.
+type WLepNu struct{ base }
+
+// NewWLepNu returns a W generator.
+func NewWLepNu(cfg Config) *WLepNu {
+	return &WLepNu{newBase(cfg, ProcWLepNu)}
+}
+
+// Generate produces one W event with equal e/µ branching and both charges.
+func (g *WLepNu) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	pw, _ := units.Lookup(units.PDGW)
+	mass := g.resonanceMass(pw.Mass, 2.085, units.Mass(units.PDGTau)+0.01)
+	v := resonanceKinematics(g.rng, mass, 7.0)
+	lep := units.PDGMuon
+	nu := units.PDGNuMu
+	if g.rng.Bool(0.5) {
+		lep, nu = units.PDGElectron, units.PDGNuE
+	}
+	wpdg := units.PDGW
+	if g.rng.Bool(0.5) {
+		// W- → ℓ- ν̄
+		wpdg = -units.PDGW
+	} else {
+		// W+ → ℓ+ ν: the charged anti-lepton carries the negated PDG code.
+		lep = -lep
+	}
+	if wpdg < 0 {
+		nu = -nu
+	}
+	dv := e.AddVertex(vertexOf(e, pv))
+	e.AddParticle(wpdg, hepmc.StatusDecayed, v, pv, dv)
+	d1, d2 := twoBodyDecay(g.rng, v, units.Mass(lep), 0)
+	e.AddParticle(lep, hepmc.StatusFinal, d1, dv, 0)
+	e.AddParticle(nu, hepmc.StatusFinal, d2, dv, 0)
+	return g.finish(e, pv)
+}
+
+// HiggsDiphoton generates pp → H → γγ on a small continuum: the "Higgs
+// hunt" outreach exercise and a narrow-resonance search benchmark.
+type HiggsDiphoton struct{ base }
+
+// NewHiggsDiphoton returns an H→γγ generator.
+func NewHiggsDiphoton(cfg Config) *HiggsDiphoton {
+	return &HiggsDiphoton{newBase(cfg, ProcHiggsDiphoton)}
+}
+
+// Generate produces one H→γγ event.
+func (g *HiggsDiphoton) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	ph, _ := units.Lookup(units.PDGHiggs)
+	mass := g.rng.Gauss(ph.Mass, 0.004) // natural width is negligible
+	v := resonanceKinematics(g.rng, mass, 8.0)
+	dv := e.AddVertex(vertexOf(e, pv))
+	e.AddParticle(units.PDGHiggs, hepmc.StatusDecayed, v, pv, dv)
+	d1, d2 := twoBodyDecay(g.rng, v, 0, 0)
+	e.AddParticle(units.PDGPhoton, hepmc.StatusFinal, d1, dv, 0)
+	e.AddParticle(units.PDGPhoton, hepmc.StatusFinal, d2, dv, 0)
+	return g.finish(e, pv)
+}
+
+// DZero generates D⁰ → K⁻π⁺ with a displaced decay vertex from the
+// exponential proper-lifetime distribution: the LHCb "D lifetime" master
+// class (Table 1) depends on reconstructing exactly this flight distance.
+type DZero struct{ base }
+
+// NewDZero returns a D⁰ generator.
+func NewDZero(cfg Config) *DZero {
+	return &DZero{newBase(cfg, ProcDZero)}
+}
+
+// Generate produces one D⁰ event.
+func (g *DZero) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	pd, _ := units.Lookup(units.PDGDZero)
+	pt := g.rng.PowerLaw(3.5, 2, 40)
+	eta := g.rng.Range(2.0, 4.5) // forward, LHCb-like
+	phi := g.rng.Range(-math.Pi, math.Pi)
+	pdg := units.PDGDZero
+	k, pi := -units.PDGKPlus, units.PDGPiPlus
+	if g.rng.Bool(0.5) {
+		pdg, k, pi = -pdg, -k, -pi
+	}
+	v := fourvec.PtEtaPhiM(pt, eta, phi, pd.Mass)
+	x, y, z, tt := decayVertexFor(g.rng, v, *e.Vertex(pv), pd.Lifetime)
+	dv := e.AddVertex(x, y, z, tt)
+	e.AddParticle(pdg, hepmc.StatusDecayed, v, pv, dv)
+	d1, d2 := twoBodyDecay(g.rng, v, units.Mass(k), units.Mass(pi))
+	e.AddParticle(k, hepmc.StatusFinal, d1, dv, 0)
+	e.AddParticle(pi, hepmc.StatusFinal, d2, dv, 0)
+	return g.finish(e, pv)
+}
+
+// V0 generates K_S → π⁺π⁻ and Λ → pπ⁻ decays with centimetre-scale flight
+// distances: the ALICE "V0 finder" master class of Table 1.
+type V0 struct {
+	base
+	// LambdaFraction is the probability of producing a Λ instead of a K_S.
+	LambdaFraction float64
+}
+
+// NewV0 returns a V0 generator with a 30% Λ admixture.
+func NewV0(cfg Config) *V0 {
+	return &V0{base: newBase(cfg, ProcV0), LambdaFraction: 0.3}
+}
+
+// Generate produces one event containing a single reconstructible V0.
+func (g *V0) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	var pdg, d1pdg, d2pdg int
+	if g.rng.Bool(g.LambdaFraction) {
+		pdg, d1pdg, d2pdg = units.PDGLambda, units.PDGProton, -units.PDGPiPlus
+		if g.rng.Bool(0.5) {
+			pdg, d1pdg, d2pdg = -pdg, -d1pdg, -d2pdg
+		}
+	} else {
+		pdg, d1pdg, d2pdg = units.PDGKZeroShort, units.PDGPiPlus, -units.PDGPiPlus
+	}
+	sp, _ := units.Lookup(pdg)
+	pt := g.rng.PowerLaw(3.0, 0.5, 10)
+	eta := g.rng.Range(-0.9, 0.9) // central, ALICE-like
+	phi := g.rng.Range(-math.Pi, math.Pi)
+	v := fourvec.PtEtaPhiM(pt, eta, phi, sp.Mass)
+	x, y, z, tt := decayVertexFor(g.rng, v, *e.Vertex(pv), sp.Lifetime)
+	dv := e.AddVertex(x, y, z, tt)
+	e.AddParticle(pdg, hepmc.StatusDecayed, v, pv, dv)
+	da, db := twoBodyDecay(g.rng, v, units.Mass(d1pdg), units.Mass(d2pdg))
+	e.AddParticle(d1pdg, hepmc.StatusFinal, da, dv, 0)
+	e.AddParticle(d2pdg, hepmc.StatusFinal, db, dv, 0)
+	return g.finish(e, pv)
+}
+
+// ZPrime generates a hypothetical heavy dilepton resonance — the "new
+// physics model" a theorist submits through RECAST to test against a
+// preserved search analysis.
+type ZPrime struct {
+	base
+	// Mass and Width define the resonance; both in GeV.
+	Mass, Width float64
+}
+
+// NewZPrime returns a Z′→µµ generator at the given pole mass with a 3%
+// relative width.
+func NewZPrime(cfg Config, mass float64) *ZPrime {
+	return &ZPrime{base: newBase(cfg, ProcZPrime), Mass: mass, Width: 0.03 * mass}
+}
+
+// Generate produces one Z′→µµ event.
+func (g *ZPrime) Generate() *hepmc.Event {
+	e, pv := g.newEvent()
+	mass := g.resonanceMass(g.Mass, g.Width, 2*units.Mass(units.PDGMuon)+0.01)
+	v := resonanceKinematics(g.rng, mass, 10.0)
+	dv := e.AddVertex(vertexOf(e, pv))
+	e.AddParticle(units.PDGZPrime, hepmc.StatusDecayed, v, pv, dv)
+	ml := units.Mass(units.PDGMuon)
+	d1, d2 := twoBodyDecay(g.rng, v, ml, ml)
+	e.AddParticle(units.PDGMuon, hepmc.StatusFinal, d1, dv, 0)
+	e.AddParticle(-units.PDGMuon, hepmc.StatusFinal, d2, dv, 0)
+	return g.finish(e, pv)
+}
+
+// resonanceKinematics draws lab-frame kinematics for a produced resonance
+// of the given mass: an exponential pT spectrum with the given mean and a
+// Gaussian rapidity plateau.
+func resonanceKinematics(rng *xrand.Rand, mass, meanPt float64) fourvec.Vec {
+	pt := rng.Exp(meanPt)
+	y := rng.Gauss(0, 1.4)
+	phi := rng.Range(-math.Pi, math.Pi)
+	// Convert rapidity to the longitudinal momentum for this mass and pT.
+	mt := math.Sqrt(mass*mass + pt*pt)
+	pz := mt * math.Sinh(y)
+	e := mt * math.Cosh(y)
+	return fourvec.PxPyPzE(pt*math.Cos(phi), pt*math.Sin(phi), pz, e)
+}
+
+// vertexOf returns the coordinates of a vertex barcode, for co-locating
+// prompt decay vertices with the primary vertex.
+func vertexOf(e *hepmc.Event, barcode int) (x, y, z, t float64) {
+	v := e.Vertex(barcode)
+	return v.X, v.Y, v.Z, v.T
+}

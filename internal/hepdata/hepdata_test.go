@@ -1,0 +1,285 @@
+package hepdata
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"daspos/internal/hist"
+)
+
+func zTable() Table {
+	return Table{
+		Name:        "Table1",
+		Description: "Z cross section vs pT",
+		XHeader:     "PT [GEV]",
+		YHeader:     "D(SIG)/D(PT) [PB/GEV]",
+		Reactions:   []string{"P P --> Z0 X"},
+		Observables: []string{"DSIG/DPT"},
+		Points: []Point{
+			{X: 5, XLo: 0, XHi: 10, Y: 12.3, Errors: []Uncertainty{{Label: "stat", Plus: 0.5, Minus: 0.5}, {Label: "sys", Plus: 0.4, Minus: 0.3}}},
+			{X: 15, XLo: 10, XHi: 20, Y: 6.1, Errors: []Uncertainty{{Label: "stat", Plus: 0.3, Minus: 0.3}}},
+		},
+	}
+}
+
+func searchRecord() *Record {
+	return &Record{
+		InspireID:     "1200001",
+		Title:         "Measurement of the Z boson transverse momentum",
+		Collaboration: "DASPOS-GPD",
+		Year:          2013,
+		Abstract:      "Differential cross sections for Z production.",
+		Tables:        []Table{zTable()},
+	}
+}
+
+func TestPointTotalError(t *testing.T) {
+	p := zTable().Points[0]
+	want := math.Sqrt(0.5*0.5 + 0.35*0.35)
+	if math.Abs(p.TotalError()-want) > 1e-12 {
+		t.Fatalf("total error %v want %v", p.TotalError(), want)
+	}
+	if (Point{}).TotalError() != 0 {
+		t.Fatal("empty point error")
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	good := zTable()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := zTable()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nameless table validated")
+	}
+	bad2 := zTable()
+	bad2.Points = nil
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty table validated")
+	}
+	bad3 := zTable()
+	bad3.Points[0].XLo = 7 // x=5 outside [7,10]
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("inconsistent bin validated")
+	}
+	bad4 := zTable()
+	bad4.Points[0].Errors[0].Plus = -1
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("negative uncertainty validated")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tab := zTable()
+	csv := tab.CSV()
+	if !strings.Contains(csv, "xlo,x,xhi,y,err_total") {
+		t.Fatalf("header missing:\n%s", csv)
+	}
+	if !strings.Contains(csv, "0,5,10,12.3,") {
+		t.Fatalf("row missing:\n%s", csv)
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 5 {
+		t.Fatalf("row count:\n%s", csv)
+	}
+}
+
+func TestFromH1D(t *testing.T) {
+	h := hist.NewH1D("m", 4, 0, 8)
+	h.Fill(1)
+	h.Fill(3)
+	h.Fill(3)
+	tab := FromH1D(h, "TableH", "M [GEV]", "N")
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Points) != 4 {
+		t.Fatalf("points: %d", len(tab.Points))
+	}
+	if tab.Points[1].Y != 2 || tab.Points[1].X != 3 {
+		t.Fatalf("point 1: %+v", tab.Points[1])
+	}
+	if tab.Points[1].TotalError() != math.Sqrt(2) {
+		t.Fatalf("stat error: %v", tab.Points[1].TotalError())
+	}
+	if tab.Points[0].XLo != 0 || tab.Points[3].XHi != 8 {
+		t.Fatal("bin edges wrong")
+	}
+}
+
+func TestSubmitAndGet(t *testing.T) {
+	a := NewArchive()
+	if err := a.Submit(searchRecord()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Get("ins1200001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Title == "" || r.InspireURL() != "https://inspirehep.net/record/1200001" {
+		t.Fatalf("record: %+v", r)
+	}
+	if err := a.Submit(searchRecord()); err == nil {
+		t.Fatal("duplicate submission accepted")
+	}
+	if _, err := a.Get("ins999"); err == nil {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	a := NewArchive()
+	r := searchRecord()
+	r.InspireID = ""
+	if err := a.Submit(r); err == nil {
+		t.Fatal("record without Inspire ID accepted")
+	}
+	r2 := searchRecord()
+	r2.Tables = append(r2.Tables, zTable()) // duplicate table name
+	if err := a.Submit(r2); err == nil {
+		t.Fatal("duplicate table names accepted")
+	}
+	r3 := searchRecord()
+	r3.Tables = nil
+	if err := a.Submit(r3); err == nil {
+		t.Fatal("tableless record accepted")
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	a := NewArchive()
+	_ = a.Submit(searchRecord())
+	tab, err := a.Table("ins1200001", "Table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.XHeader != "PT [GEV]" {
+		t.Fatalf("table: %+v", tab)
+	}
+	if _, err := a.Table("ins1200001", "TableX"); err == nil {
+		t.Fatal("phantom table")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	a := NewArchive()
+	_ = a.Submit(searchRecord())
+	r2 := searchRecord()
+	r2.InspireID = "1300077"
+	r2.Title = "Search for new resonances in dimuon events"
+	r2.Tables[0].Reactions = []string{"P P --> ZPRIME X"}
+	_ = a.Submit(r2)
+
+	if got := a.Search("transverse momentum"); len(got) != 1 || got[0].InspireID != "1200001" {
+		t.Fatalf("title search: %d", len(got))
+	}
+	if got := a.Search("zprime"); len(got) != 1 || got[0].InspireID != "1300077" {
+		t.Fatalf("reaction search: %d", len(got))
+	}
+	if got := a.Search(""); len(got) != 2 {
+		t.Fatalf("all: %d", len(got))
+	}
+	if got := a.Search("warp drive"); len(got) != 0 {
+		t.Fatalf("miss: %d", len(got))
+	}
+}
+
+func TestLargeSearchPayload(t *testing.T) {
+	// The "ATLAS search analysis with a very large amount of information"
+	// use case: tables plus bulky auxiliary files.
+	r := searchRecord()
+	r.InspireID = "1400001"
+	r.Aux = map[string][]byte{
+		"cutflows/signal_region.json": make([]byte, 200000),
+		"efficiency/grid_m_vs_x.csv":  make([]byte, 500000),
+		"likelihood/workspace.json":   make([]byte, 900000),
+	}
+	a := NewArchive()
+	if err := a.Submit(r); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Get("ins1400001")
+	if got.AuxBytes() != 1600000 {
+		t.Fatalf("aux bytes: %d", got.AuxBytes())
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	r := searchRecord()
+	r.Aux = map[string][]byte{"x.bin": {1, 2, 3}}
+	data, err := EncodeRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != r.ID() || len(got.Tables) != 1 || len(got.Aux["x.bin"]) != 3 {
+		t.Fatal("round trip lost content")
+	}
+	if _, err := DecodeRecord([]byte("{bad")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeRecord([]byte(`{"inspire_id":"1","title":"t","collaboration":"c"}`)); err == nil {
+		t.Fatal("invalid record decoded")
+	}
+}
+
+func BenchmarkSubmitQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a := NewArchive()
+		if err := a.Submit(searchRecord()); err != nil {
+			b.Fatal(err)
+		}
+		if got := a.Search("Z boson"); len(got) != 1 {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+func TestToH1DRoundTrip(t *testing.T) {
+	h := hist.NewH1D("spec", 20, 0, 100)
+	for i := 0; i < 20; i++ {
+		h.FillW(float64(i*5)+1, float64(40-i))
+	}
+	tab := FromH1D(h, "spec", "X", "Y")
+	back, err := tab.ToH1D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NBins != h.NBins || back.Lo != h.Lo || back.Hi != h.Hi {
+		t.Fatalf("binning: %+v", back)
+	}
+	for i := 0; i < h.NBins; i++ {
+		if math.Abs(back.SumW[i]-h.SumW[i]) > 1e-12 {
+			t.Fatalf("bin %d content %v vs %v", i, back.SumW[i], h.SumW[i])
+		}
+		if math.Abs(back.BinError(i)-h.BinError(i)) > 1e-9 {
+			t.Fatalf("bin %d error %v vs %v", i, back.BinError(i), h.BinError(i))
+		}
+	}
+}
+
+func TestToH1DRejectsIrregularBinning(t *testing.T) {
+	tab := zTable() // bins 0-10 and 10-20: uniform, should pass
+	if _, err := tab.ToH1D(); err != nil {
+		t.Fatal(err)
+	}
+	gap := zTable()
+	gap.Points[1].XLo, gap.Points[1].X, gap.Points[1].XHi = 15, 18, 25
+	if _, err := gap.ToH1D(); err == nil {
+		t.Fatal("non-contiguous bins accepted")
+	}
+	uneven := zTable()
+	uneven.Points[1].XHi = 40
+	if _, err := uneven.ToH1D(); err == nil {
+		t.Fatal("non-uniform bins accepted")
+	}
+	empty := Table{Name: "x"}
+	if _, err := empty.ToH1D(); err == nil {
+		t.Fatal("empty table converted")
+	}
+}

@@ -1,0 +1,162 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile1D is a profile histogram: per bin of x it accumulates the mean
+// and spread of a second quantity y. Profiles are the standard calibration
+// monitor (e.g. E/p versus η) and response-curve representation.
+type Profile1D struct {
+	Name   string
+	NBins  int
+	Lo, Hi float64
+	// Per-bin accumulators: Σw, Σwy, Σwy².
+	sumW, sumWY, sumWY2 []float64
+	// OutOfRange counts dropped entries.
+	OutOfRange int64
+}
+
+// NewProfile1D returns an empty profile with uniform binning on [lo, hi).
+// It panics on invalid binning.
+func NewProfile1D(name string, nbins int, lo, hi float64) *Profile1D {
+	if nbins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("hist: invalid profile binning %q", name))
+	}
+	return &Profile1D{
+		Name: name, NBins: nbins, Lo: lo, Hi: hi,
+		sumW:   make([]float64, nbins),
+		sumWY:  make([]float64, nbins),
+		sumWY2: make([]float64, nbins),
+	}
+}
+
+// FillW adds a (x, y) sample with weight w.
+func (p *Profile1D) FillW(x, y, w float64) {
+	if math.IsNaN(x) || math.IsNaN(y) || x < p.Lo || x >= p.Hi {
+		p.OutOfRange++
+		return
+	}
+	i := int(float64(p.NBins) * (x - p.Lo) / (p.Hi - p.Lo))
+	if i >= p.NBins {
+		i = p.NBins - 1
+	}
+	p.sumW[i] += w
+	p.sumWY[i] += w * y
+	p.sumWY2[i] += w * y * y
+}
+
+// Fill adds a unit-weight sample.
+func (p *Profile1D) Fill(x, y float64) { p.FillW(x, y, 1) }
+
+// BinCenter returns the centre of bin i.
+func (p *Profile1D) BinCenter(i int) float64 {
+	w := (p.Hi - p.Lo) / float64(p.NBins)
+	return p.Lo + (float64(i)+0.5)*w
+}
+
+// Mean returns the mean y in bin i and whether the bin has entries.
+func (p *Profile1D) Mean(i int) (float64, bool) {
+	if p.sumW[i] == 0 {
+		return 0, false
+	}
+	return p.sumWY[i] / p.sumW[i], true
+}
+
+// Spread returns the RMS spread of y in bin i.
+func (p *Profile1D) Spread(i int) float64 {
+	if p.sumW[i] == 0 {
+		return 0
+	}
+	m := p.sumWY[i] / p.sumW[i]
+	v := p.sumWY2[i]/p.sumW[i] - m*m
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// MeanError returns the statistical error on the bin mean (spread/√N for
+// unit weights; the weighted generalization uses Σw as effective N).
+func (p *Profile1D) MeanError(i int) float64 {
+	if p.sumW[i] <= 0 {
+		return 0
+	}
+	return p.Spread(i) / math.Sqrt(p.sumW[i])
+}
+
+// Efficiency accumulates pass/total counts per bin of x: the efficiency
+// curve (e.g. trigger or reconstruction efficiency versus pT), with
+// binomial uncertainties.
+type Efficiency struct {
+	Name   string
+	NBins  int
+	Lo, Hi float64
+	Pass   []float64
+	Total  []float64
+}
+
+// NewEfficiency returns an empty efficiency with uniform binning. It
+// panics on invalid binning.
+func NewEfficiency(name string, nbins int, lo, hi float64) *Efficiency {
+	if nbins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("hist: invalid efficiency binning %q", name))
+	}
+	return &Efficiency{
+		Name: name, NBins: nbins, Lo: lo, Hi: hi,
+		Pass:  make([]float64, nbins),
+		Total: make([]float64, nbins),
+	}
+}
+
+// Fill records one trial at x. Out-of-range trials are dropped.
+func (e *Efficiency) Fill(x float64, passed bool) {
+	if math.IsNaN(x) || x < e.Lo || x >= e.Hi {
+		return
+	}
+	i := int(float64(e.NBins) * (x - e.Lo) / (e.Hi - e.Lo))
+	if i >= e.NBins {
+		i = e.NBins - 1
+	}
+	e.Total[i]++
+	if passed {
+		e.Pass[i]++
+	}
+}
+
+// BinCenter returns the centre of bin i.
+func (e *Efficiency) BinCenter(i int) float64 {
+	w := (e.Hi - e.Lo) / float64(e.NBins)
+	return e.Lo + (float64(i)+0.5)*w
+}
+
+// At returns the efficiency in bin i and whether the bin has trials.
+func (e *Efficiency) At(i int) (float64, bool) {
+	if e.Total[i] == 0 {
+		return 0, false
+	}
+	return e.Pass[i] / e.Total[i], true
+}
+
+// Error returns the binomial uncertainty sqrt(ε(1-ε)/N) in bin i.
+func (e *Efficiency) Error(i int) float64 {
+	if e.Total[i] == 0 {
+		return 0
+	}
+	eff := e.Pass[i] / e.Total[i]
+	return math.Sqrt(eff * (1 - eff) / e.Total[i])
+}
+
+// Overall returns the integrated efficiency across all bins.
+func (e *Efficiency) Overall() (float64, bool) {
+	var pass, total float64
+	for i := range e.Total {
+		pass += e.Pass[i]
+		total += e.Total[i]
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return pass / total, true
+}

@@ -1,0 +1,113 @@
+package hist
+
+import (
+	"math"
+	"testing"
+
+	"daspos/internal/xrand"
+)
+
+func TestProfileMeanAndSpread(t *testing.T) {
+	p := NewProfile1D("eop", 4, 0, 4)
+	r := xrand.New(1)
+	// Bin 1 gets y ~ N(2, 0.5); bin 3 gets y ~ N(5, 1).
+	for i := 0; i < 20000; i++ {
+		p.Fill(1.5, r.Gauss(2, 0.5))
+		p.Fill(3.5, r.Gauss(5, 1))
+	}
+	m1, ok := p.Mean(1)
+	if !ok || math.Abs(m1-2) > 0.02 {
+		t.Fatalf("bin1 mean %v", m1)
+	}
+	if s := p.Spread(1); math.Abs(s-0.5) > 0.02 {
+		t.Fatalf("bin1 spread %v", s)
+	}
+	m3, _ := p.Mean(3)
+	if math.Abs(m3-5) > 0.03 {
+		t.Fatalf("bin3 mean %v", m3)
+	}
+	if _, ok := p.Mean(0); ok {
+		t.Fatal("empty bin reported a mean")
+	}
+	if e := p.MeanError(1); e <= 0 || e > 0.01 {
+		t.Fatalf("mean error %v", e)
+	}
+	if p.MeanError(0) != 0 || p.Spread(0) != 0 {
+		t.Fatal("empty-bin errors not zero")
+	}
+}
+
+func TestProfileOutOfRange(t *testing.T) {
+	p := NewProfile1D("x", 2, 0, 1)
+	p.Fill(-1, 5)
+	p.Fill(2, 5)
+	p.Fill(math.NaN(), 5)
+	if p.OutOfRange != 3 {
+		t.Fatalf("out of range: %d", p.OutOfRange)
+	}
+	if p.BinCenter(0) != 0.25 {
+		t.Fatalf("center %v", p.BinCenter(0))
+	}
+}
+
+func TestProfilePanicsOnBadBinning(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewProfile1D("bad", 0, 0, 1)
+}
+
+func TestEfficiencyCurve(t *testing.T) {
+	e := NewEfficiency("turnon", 10, 0, 100)
+	r := xrand.New(2)
+	// A turn-on: efficiency 0.2 below 50, 0.9 above.
+	for i := 0; i < 50000; i++ {
+		x := r.Range(0, 100)
+		eff := 0.2
+		if x >= 50 {
+			eff = 0.9
+		}
+		e.Fill(x, r.Bool(eff))
+	}
+	lo, ok := e.At(2)
+	if !ok || math.Abs(lo-0.2) > 0.03 {
+		t.Fatalf("low bin eff %v", lo)
+	}
+	hi, _ := e.At(8)
+	if math.Abs(hi-0.9) > 0.03 {
+		t.Fatalf("high bin eff %v", hi)
+	}
+	if err := e.Error(2); err <= 0 || err > 0.02 {
+		t.Fatalf("binomial error %v", err)
+	}
+	overall, ok := e.Overall()
+	if !ok || math.Abs(overall-0.55) > 0.02 {
+		t.Fatalf("overall %v", overall)
+	}
+}
+
+func TestEfficiencyEdges(t *testing.T) {
+	e := NewEfficiency("x", 2, 0, 1)
+	e.Fill(-1, true)
+	e.Fill(math.NaN(), true)
+	if _, ok := e.At(0); ok {
+		t.Fatal("out-of-range fills counted")
+	}
+	if _, ok := e.Overall(); ok {
+		t.Fatal("empty overall reported")
+	}
+	if e.Error(0) != 0 {
+		t.Fatal("empty-bin error not zero")
+	}
+	if e.BinCenter(1) != 0.75 {
+		t.Fatalf("center %v", e.BinCenter(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad binning")
+		}
+	}()
+	NewEfficiency("bad", 1, 2, 1)
+}

@@ -1,0 +1,221 @@
+package interview
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAreasAndScales(t *testing.T) {
+	if len(Areas()) != 4 {
+		t.Fatalf("areas: %d", len(Areas()))
+	}
+	for _, a := range Areas() {
+		if a.String() == "" || strings.HasPrefix(a.String(), "area(") {
+			t.Fatalf("area %d unnamed", a)
+		}
+		for r := Rating(1); r <= 5; r++ {
+			desc, err := ScaleDescription(a, r)
+			if err != nil || desc == "" {
+				t.Fatalf("scale %s/%d: %v", a, r, err)
+			}
+		}
+	}
+	if _, err := ScaleDescription(AreaPreservation, 0); err == nil {
+		t.Fatal("rating 0 accepted")
+	}
+	if _, err := ScaleDescription(AreaPreservation, 6); err == nil {
+		t.Fatal("rating 6 accepted")
+	}
+	if _, err := ScaleDescription(Area(99), 3); err == nil {
+		t.Fatal("unknown area accepted")
+	}
+}
+
+func TestMaturityTablesMatchAppendixA(t *testing.T) {
+	// Anchor phrases from each Appendix A table must appear verbatim.
+	anchors := map[Area]string{
+		AreaDataManagement:  "routinely tested and shown to be effective",
+		AreaDataDescription: "Metadata is an unfamiliar concept",
+		AreaPreservation:    "mostly due to chance, not active preservation",
+		AreaSharingAccess:   "culture of openness",
+	}
+	for a, anchor := range anchors {
+		tab := MaturityTable(a)
+		// The ASCII render wraps cells; the Markdown render keeps each
+		// description on one line for exact matching.
+		if !strings.Contains(tab.Markdown(), anchor) {
+			t.Fatalf("%s table missing %q:\n%s", a, anchor, tab.Markdown())
+		}
+		if tab.NumRows() != 1 {
+			t.Fatalf("%s table rows: %d", a, tab.NumRows())
+		}
+	}
+}
+
+func TestStandardProfilesValid(t *testing.T) {
+	ps := StandardProfiles()
+	if len(ps) != 4 {
+		t.Fatalf("profiles: %d", len(ps))
+	}
+	for _, iv := range ps {
+		if err := iv.Validate(); err != nil {
+			t.Fatalf("%s: %v", iv.Name, err)
+		}
+		if iv.TotalBytes() <= 0 {
+			t.Fatalf("%s: no data volume", iv.Name)
+		}
+		if len(iv.ExternalDependencies()) == 0 {
+			t.Fatalf("%s: no external dependencies recorded", iv.Name)
+		}
+	}
+}
+
+func TestWorkshopFindingsEncoded(t *testing.T) {
+	// The report's 2014 facts: CMS and LHCb have approved data policies
+	// (higher preservation maturity); ALICE ships constants as text files.
+	byName := map[string]*Interview{}
+	for _, iv := range StandardProfiles() {
+		byName[iv.Name] = iv
+	}
+	if byName["CMS"].Ratings[AreaPreservation] <= byName["Atlas"].Ratings[AreaPreservation] {
+		t.Fatal("CMS preservation maturity not above ATLAS")
+	}
+	if byName["LHCb"].Ratings[AreaPreservation] <= byName["Alice"].Ratings[AreaPreservation] {
+		t.Fatal("LHCb preservation maturity not above ALICE")
+	}
+	deps := byName["Alice"].ExternalDependencies()
+	foundText := false
+	for _, d := range deps {
+		if d == "text-constants-files" {
+			foundText = true
+		}
+		if d == "conditions-db" {
+			t.Fatal("ALICE uses a conditions database")
+		}
+	}
+	if !foundText {
+		t.Fatalf("ALICE text-file constants missing: %v", deps)
+	}
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	good := StandardProfiles()[0]
+	mutate := func(f func(*Interview)) error {
+		iv := StandardProfiles()[0]
+		f(iv)
+		return iv.Validate()
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mutate(func(iv *Interview) { iv.Name = "" }); err == nil {
+		t.Error("nameless interview validated")
+	}
+	if err := mutate(func(iv *Interview) { iv.Stages = nil }); err == nil {
+		t.Error("stageless interview validated")
+	}
+	if err := mutate(func(iv *Interview) { iv.Stages[0].Name = "" }); err == nil {
+		t.Error("unnamed stage validated")
+	}
+	if err := mutate(func(iv *Interview) { iv.Stages[0].Files = -1 }); err == nil {
+		t.Error("negative extent validated")
+	}
+	if err := mutate(func(iv *Interview) { delete(iv.Ratings, AreaPreservation) }); err == nil {
+		t.Error("missing rating validated")
+	}
+	if err := mutate(func(iv *Interview) { iv.Ratings[AreaPreservation] = 9 }); err == nil {
+		t.Error("out-of-scale rating validated")
+	}
+}
+
+func TestOverallMaturity(t *testing.T) {
+	iv := StandardProfiles()[2] // CMS: 4,4,4,4
+	if iv.OverallMaturity() != 4 {
+		t.Fatalf("CMS overall: %v", iv.OverallMaturity())
+	}
+	alice := StandardProfiles()[0]
+	if alice.OverallMaturity() >= iv.OverallMaturity() {
+		t.Fatal("maturity ordering")
+	}
+}
+
+func TestRatingsTableRendersScaleText(t *testing.T) {
+	iv := StandardProfiles()[0]
+	out := iv.RatingsTable().String()
+	if !strings.Contains(out, "Alice") {
+		t.Fatal("respondent missing")
+	}
+	// Rating 2 in preservation: the level-2 description text must show.
+	if !strings.Contains(iv.RatingsTable().Markdown(), "mostly due to chance") {
+		t.Fatalf("scale description missing:\n%s", out)
+	}
+}
+
+func TestSharingGridTable(t *testing.T) {
+	iv := StandardProfiles()[2]
+	out := iv.SharingGridTable().String()
+	for _, want := range []string{"Whole world", "RAW", "attribution"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("grid missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLifecycleTableShowsReduction(t *testing.T) {
+	iv := StandardProfiles()[1]
+	out := iv.LifecycleTable().String()
+	for _, want := range []string{"RAW collection", "Group skims", "Publication", "TiB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lifecycle missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	out := Comparison(StandardProfiles()).String()
+	for _, want := range []string{"Alice", "Atlas", "CMS", "LHCb", "Overall (mean)", "Preservation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	iv := StandardProfiles()[3]
+	data, err := iv.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != iv.Name || got.OverallMaturity() != iv.OverallMaturity() {
+		t.Fatal("round trip changed content")
+	}
+	if len(got.Stages) != len(iv.Stages) || len(got.SharingGrid) != len(iv.SharingGrid) {
+		t.Fatal("round trip lost sections")
+	}
+	if _, err := Decode([]byte("{bad")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := Decode([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("incomplete interview decoded")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:            "512 B",
+		2048:           "2.0 KiB",
+		3 << 20:        "3.0 MiB",
+		5 << 30:        "5.0 GiB",
+		7 << 40:        "7.0 TiB",
+		int64(2) << 50: "2.0 PiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d)=%q want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package leshouches implements the analysis database called for by the
+// Les Houches recommendations the paper quotes (§2.3):
+//
+//	Rec. 1a — "basic object definitions and event selection should be
+//	clearly displayed ... preferably in tabular form, and kinematic
+//	variables utilized should be unambiguously defined."
+//	Rec. 1b — "identify, develop and adopt a common platform to store
+//	analysis databases, collecting object definitions, cuts, and all
+//	other information, including well-encapsulated functions, necessary
+//	to reproduce or use the results of the analyses."
+//
+// An AnalysisRecord is exactly that: named object definitions, an event
+// selection over them expressed in a closed variable catalogue, efficiency
+// grids over model-parameter planes, and references to encapsulated
+// functions from a versioned registry. Records serialize to JSON, so the
+// database preserves analyses "at the abstract level of analysis objects,
+// rather than ... a specific code base".
+package leshouches
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"daspos/internal/datamodel"
+	"daspos/internal/fourvec"
+)
+
+// ObjectDefinition is one named physics-object selection (Rec 1a's
+// "basic object definitions").
+type ObjectDefinition struct {
+	// Name is the handle cuts refer to, e.g. "signal_muon".
+	Name string `json:"name"`
+	// Type is the candidate type selected.
+	Type datamodel.ObjectType `json:"type"`
+	// MinPt and MaxAbsEta are the kinematic acceptance (GeV, unitless).
+	MinPt     float64 `json:"min_pt"`
+	MaxAbsEta float64 `json:"max_abs_eta,omitempty"`
+	// MaxIsolation, when positive, is the maximum cone activity (GeV).
+	MaxIsolation float64 `json:"max_isolation,omitempty"`
+	// MinQuality, when positive, is the minimum identification score.
+	MinQuality float64 `json:"min_quality,omitempty"`
+}
+
+// Select returns the event's candidates passing the definition, sorted by
+// decreasing pT.
+func (d ObjectDefinition) Select(e *datamodel.Event) []datamodel.Candidate {
+	var out []datamodel.Candidate
+	for _, c := range e.Candidates {
+		if c.Type != d.Type {
+			continue
+		}
+		if c.P.Pt() < d.MinPt {
+			continue
+		}
+		if d.MaxAbsEta > 0 && math.Abs(c.P.Eta()) > d.MaxAbsEta {
+			continue
+		}
+		if d.MaxIsolation > 0 && c.Isolation > d.MaxIsolation {
+			continue
+		}
+		if d.MinQuality > 0 && c.Quality < d.MinQuality {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P.Pt() > out[j].P.Pt() })
+	return out
+}
+
+// Cut is one event-selection requirement over defined objects. The
+// variable grammar is closed and documented (Rec 1a's "unambiguously
+// defined"):
+//
+//	count:<obj>        number of selected <obj>
+//	leading_pt:<obj>   pT of the leading <obj> (0 if none)
+//	inv_mass:<obj>     invariant mass of the two leading <obj> (0 if <2)
+//	os_pair:<obj>      1 if the two leading <obj> have opposite charge
+//	mt:<obj>           transverse mass of leading <obj> and MET
+//	met                missing transverse momentum
+type Cut struct {
+	Variable string  `json:"variable"`
+	Op       string  `json:"op"`
+	Value    float64 `json:"value"`
+}
+
+// String renders the cut in conventional notation.
+func (c Cut) String() string { return fmt.Sprintf("%s %s %g", c.Variable, c.Op, c.Value) }
+
+// evalVariable computes a grammar variable given the selected objects.
+func evalVariable(name string, e *datamodel.Event, objects map[string][]datamodel.Candidate) (float64, error) {
+	if name == "met" {
+		return e.Missing.Pt, nil
+	}
+	parts := strings.SplitN(name, ":", 2)
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("leshouches: unknown variable %q", name)
+	}
+	sel, ok := objects[parts[1]]
+	if !ok {
+		return 0, fmt.Errorf("leshouches: cut references undefined object %q", parts[1])
+	}
+	switch parts[0] {
+	case "count":
+		return float64(len(sel)), nil
+	case "leading_pt":
+		if len(sel) == 0 {
+			return 0, nil
+		}
+		return sel[0].P.Pt(), nil
+	case "inv_mass":
+		if len(sel) < 2 {
+			return 0, nil
+		}
+		return fourvec.InvariantMass(sel[0].P, sel[1].P), nil
+	case "os_pair":
+		if len(sel) < 2 {
+			return 0, nil
+		}
+		if sel[0].Charge*sel[1].Charge < 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case "mt":
+		if len(sel) == 0 {
+			return 0, nil
+		}
+		miss := fourvec.PtEtaPhiM(e.Missing.Pt, 0, e.Missing.Phi, 0)
+		return fourvec.TransverseMass(sel[0].P, miss), nil
+	default:
+		return 0, fmt.Errorf("leshouches: unknown variable kind %q", parts[0])
+	}
+}
+
+func compare(v float64, op string, target float64) (bool, error) {
+	switch op {
+	case ">":
+		return v > target, nil
+	case ">=":
+		return v >= target, nil
+	case "<":
+		return v < target, nil
+	case "<=":
+		return v <= target, nil
+	case "==":
+		return v == target, nil
+	case "!=":
+		return v != target, nil
+	default:
+		return false, fmt.Errorf("leshouches: unknown operator %q", op)
+	}
+}
+
+// EfficiencyGrid is a signal acceptance×efficiency map over a 2D model
+// parameter plane — the "acceptance/efficiency grids in mass parameter
+// spaces for Supersymmetry searches" HepData hosts.
+type EfficiencyGrid struct {
+	Name   string  `json:"name"`
+	XLabel string  `json:"x_label"`
+	YLabel string  `json:"y_label"`
+	NX     int     `json:"nx"`
+	XLo    float64 `json:"x_lo"`
+	XHi    float64 `json:"x_hi"`
+	NY     int     `json:"ny"`
+	YLo    float64 `json:"y_lo"`
+	YHi    float64 `json:"y_hi"`
+	// Pass and Total are row-major event counts per cell.
+	Pass  []float64 `json:"pass"`
+	Total []float64 `json:"total"`
+}
+
+// NewEfficiencyGrid returns an empty grid.
+func NewEfficiencyGrid(name string, nx int, xlo, xhi float64, ny int, ylo, yhi float64) *EfficiencyGrid {
+	return &EfficiencyGrid{
+		Name: name, NX: nx, XLo: xlo, XHi: xhi, NY: ny, YLo: ylo, YHi: yhi,
+		Pass: make([]float64, nx*ny), Total: make([]float64, nx*ny),
+	}
+}
+
+// cell returns the flattened index of (x, y), or -1 when out of range.
+func (g *EfficiencyGrid) cell(x, y float64) int {
+	if x < g.XLo || x >= g.XHi || y < g.YLo || y >= g.YHi {
+		return -1
+	}
+	ix := int(float64(g.NX) * (x - g.XLo) / (g.XHi - g.XLo))
+	iy := int(float64(g.NY) * (y - g.YLo) / (g.YHi - g.YLo))
+	if ix >= g.NX {
+		ix = g.NX - 1
+	}
+	if iy >= g.NY {
+		iy = g.NY - 1
+	}
+	return iy*g.NX + ix
+}
+
+// Record adds one model point's outcome.
+func (g *EfficiencyGrid) Record(x, y float64, passed bool) {
+	i := g.cell(x, y)
+	if i < 0 {
+		return
+	}
+	g.Total[i]++
+	if passed {
+		g.Pass[i]++
+	}
+}
+
+// Efficiency returns the acceptance×efficiency at a model point and
+// whether the cell has any statistics.
+func (g *EfficiencyGrid) Efficiency(x, y float64) (float64, bool) {
+	i := g.cell(x, y)
+	if i < 0 || g.Total[i] == 0 {
+		return 0, false
+	}
+	return g.Pass[i] / g.Total[i], true
+}
+
+// AnalysisRecord is one preserved analysis in the database.
+type AnalysisRecord struct {
+	// Name is the database key.
+	Name string `json:"name"`
+	// InspireID links the record to the publication.
+	InspireID   string `json:"inspire_id,omitempty"`
+	Description string `json:"description,omitempty"`
+	// Objects are the basic object definitions (Rec 1a).
+	Objects []ObjectDefinition `json:"objects"`
+	// Selection is the ordered cut flow over the defined objects.
+	Selection []Cut `json:"selection"`
+	// Grids are published efficiency maps.
+	Grids []*EfficiencyGrid `json:"grids,omitempty"`
+	// Functions names the encapsulated functions the analysis uses, from
+	// the registry (Rec 1b).
+	Functions []string `json:"functions,omitempty"`
+	// Background and BackgroundError are the expected SM background in
+	// the signal region, for limit setting.
+	Background      float64 `json:"background"`
+	BackgroundError float64 `json:"background_error"`
+	// ObservedEvents is the published signal-region count.
+	ObservedEvents int `json:"observed_events"`
+}
+
+// Validate checks internal consistency: unique object names, cuts that
+// reference defined objects, known operators and functions.
+func (r *AnalysisRecord) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("leshouches: record without a name")
+	}
+	objs := make(map[string]bool)
+	for _, o := range r.Objects {
+		if o.Name == "" {
+			return fmt.Errorf("leshouches: record %q has unnamed object", r.Name)
+		}
+		if objs[o.Name] {
+			return fmt.Errorf("leshouches: record %q duplicates object %q", r.Name, o.Name)
+		}
+		objs[o.Name] = true
+	}
+	for _, c := range r.Selection {
+		if _, err := compare(0, c.Op, 0); err != nil {
+			return fmt.Errorf("leshouches: record %q: %w", r.Name, err)
+		}
+		if c.Variable == "met" {
+			continue
+		}
+		parts := strings.SplitN(c.Variable, ":", 2)
+		if len(parts) != 2 || !objs[parts[1]] {
+			return fmt.Errorf("leshouches: record %q cut %q references undefined object", r.Name, c.Variable)
+		}
+		switch parts[0] {
+		case "count", "leading_pt", "inv_mass", "os_pair", "mt":
+		default:
+			return fmt.Errorf("leshouches: record %q cut %q uses unknown variable kind", r.Name, c.Variable)
+		}
+	}
+	for _, fn := range r.Functions {
+		if _, ok := LookupFunction(fn); !ok {
+			return fmt.Errorf("leshouches: record %q references unknown function %q", r.Name, fn)
+		}
+	}
+	return nil
+}
+
+// Pass evaluates the full selection on one event.
+func (r *AnalysisRecord) Pass(e *datamodel.Event) (bool, error) {
+	objects := make(map[string][]datamodel.Candidate, len(r.Objects))
+	for _, o := range r.Objects {
+		objects[o.Name] = o.Select(e)
+	}
+	for _, c := range r.Selection {
+		v, err := evalVariable(c.Variable, e, objects)
+		if err != nil {
+			return false, err
+		}
+		ok, err := compare(v, c.Op, c.Value)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// CutFlow returns survivors after each cut prefix (index 0 = input).
+func (r *AnalysisRecord) CutFlow(events []*datamodel.Event) ([]int, error) {
+	counts := make([]int, len(r.Selection)+1)
+	counts[0] = len(events)
+	for _, e := range events {
+		objects := make(map[string][]datamodel.Candidate, len(r.Objects))
+		for _, o := range r.Objects {
+			objects[o.Name] = o.Select(e)
+		}
+		for i, c := range r.Selection {
+			v, err := evalVariable(c.Variable, e, objects)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := compare(v, c.Op, c.Value)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			counts[i+1]++
+		}
+	}
+	return counts, nil
+}
+
+// Encode serializes the record for the common platform.
+func (r *AnalysisRecord) Encode() ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// DecodeRecord parses and validates an archived record.
+func DecodeRecord(data []byte) (*AnalysisRecord, error) {
+	var r AnalysisRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("leshouches: parsing record: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Database is the common analysis platform of Rec 1b.
+type Database struct {
+	records map[string]*AnalysisRecord
+}
+
+// NewDatabase returns an empty analysis database.
+func NewDatabase() *Database {
+	return &Database{records: make(map[string]*AnalysisRecord)}
+}
+
+// Store validates and adds a record.
+func (db *Database) Store(r *AnalysisRecord) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, dup := db.records[r.Name]; dup {
+		return fmt.Errorf("leshouches: record %q already stored", r.Name)
+	}
+	db.records[r.Name] = r
+	return nil
+}
+
+// Get returns a stored record.
+func (db *Database) Get(name string) (*AnalysisRecord, bool) {
+	r, ok := db.records[name]
+	return r, ok
+}
+
+// Names returns the sorted record names.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.records))
+	for n := range db.records {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,353 @@
+package leshouches
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"daspos/internal/datamodel"
+	"daspos/internal/fourvec"
+	"daspos/internal/stats"
+	"daspos/internal/xrand"
+)
+
+// dimuonSearch is a typical archived search: two isolated opposite-sign
+// muons with a high invariant mass.
+func dimuonSearch() *AnalysisRecord {
+	return &AnalysisRecord{
+		Name:        "GPD_2013_DIMUON_HIGHMASS",
+		InspireID:   "1300077",
+		Description: "High-mass dimuon resonance search",
+		Objects: []ObjectDefinition{
+			{Name: "sig_muon", Type: datamodel.ObjMuon, MinPt: 25, MaxAbsEta: 2.4, MaxIsolation: 10, MinQuality: 0.5},
+		},
+		Selection: []Cut{
+			{Variable: "count:sig_muon", Op: ">=", Value: 2},
+			{Variable: "os_pair:sig_muon", Op: "==", Value: 1},
+			{Variable: "inv_mass:sig_muon", Op: ">", Value: 400},
+		},
+		Functions:       []string{"cls_upper_limit95.v1"},
+		Background:      4.2,
+		BackgroundError: 1.1,
+		ObservedEvents:  5,
+	}
+}
+
+// dimuonEvent builds an AOD event with two muons at the given pTs and
+// pair mass controlled by opening angle.
+func dimuonEvent(pt1, pt2 float64, opposite bool, massive bool) *datamodel.Event {
+	phi2 := 0.3
+	if massive {
+		phi2 = math.Pi - 0.05 // back-to-back -> high mass
+	}
+	q2 := 1.0
+	if !opposite {
+		q2 = -1
+	}
+	return &datamodel.Event{
+		Tier: datamodel.TierAOD,
+		Candidates: []datamodel.Candidate{
+			{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(pt1, 0.3, 0, 0.105), Charge: -1, Quality: 0.9, Isolation: 2},
+			{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(pt2, -0.4, phi2, 0.105), Charge: q2, Quality: 0.9, Isolation: 3},
+		},
+		Missing: datamodel.MET{Pt: 15, Phi: 1.0},
+	}
+}
+
+func TestObjectDefinitionSelect(t *testing.T) {
+	d := ObjectDefinition{Name: "m", Type: datamodel.ObjMuon, MinPt: 20, MaxAbsEta: 2.0, MaxIsolation: 5, MinQuality: 0.8}
+	e := &datamodel.Event{Candidates: []datamodel.Candidate{
+		{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(30, 0.5, 0, 0.105), Quality: 0.9, Isolation: 2},  // pass
+		{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(10, 0.5, 0, 0.105), Quality: 0.9, Isolation: 2},  // pt
+		{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(30, 2.5, 0, 0.105), Quality: 0.9, Isolation: 2},  // eta
+		{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(30, 0.5, 0, 0.105), Quality: 0.5, Isolation: 2},  // quality
+		{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(30, 0.5, 0, 0.105), Quality: 0.9, Isolation: 20}, // iso
+		{Type: datamodel.ObjJet, P: fourvec.PtEtaPhiM(50, 0.5, 0, 5), Quality: 0.9},                     // type
+		{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(45, -0.5, 1, 0.105), Quality: 0.9, Isolation: 1}, // pass (leading)
+	}}
+	sel := d.Select(e)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	if sel[0].P.Pt() < sel[1].P.Pt() {
+		t.Fatal("not sorted by pT")
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	if err := dimuonSearch().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*AnalysisRecord)) error {
+		r := dimuonSearch()
+		f(r)
+		return r.Validate()
+	}
+	if err := mutate(func(r *AnalysisRecord) { r.Name = "" }); err == nil {
+		t.Error("nameless record validated")
+	}
+	if err := mutate(func(r *AnalysisRecord) { r.Objects = append(r.Objects, r.Objects[0]) }); err == nil {
+		t.Error("duplicate object validated")
+	}
+	if err := mutate(func(r *AnalysisRecord) { r.Selection[0].Variable = "count:ghost" }); err == nil {
+		t.Error("cut on undefined object validated")
+	}
+	if err := mutate(func(r *AnalysisRecord) { r.Selection[0].Variable = "warp:sig_muon" }); err == nil {
+		t.Error("unknown variable kind validated")
+	}
+	if err := mutate(func(r *AnalysisRecord) { r.Selection[0].Op = "~" }); err == nil {
+		t.Error("unknown operator validated")
+	}
+	if err := mutate(func(r *AnalysisRecord) { r.Functions = []string{"ghost.v1"} }); err == nil {
+		t.Error("unknown function reference validated")
+	}
+}
+
+func TestSelectionSemantics(t *testing.T) {
+	r := dimuonSearch()
+	cases := []struct {
+		ev   *datamodel.Event
+		want bool
+		why  string
+	}{
+		{dimuonEvent(250, 240, true, true), true, "good high-mass OS pair"},
+		{dimuonEvent(250, 240, false, true), false, "same-sign pair"},
+		{dimuonEvent(250, 240, true, false), false, "low mass"},
+		{dimuonEvent(250, 10, true, true), false, "subleading below threshold"},
+		{&datamodel.Event{}, false, "empty event"},
+	}
+	for _, c := range cases {
+		got, err := r.Pass(c.ev)
+		if err != nil {
+			t.Fatalf("%s: %v", c.why, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: got %v", c.why, got)
+		}
+	}
+}
+
+func TestCutFlow(t *testing.T) {
+	r := dimuonSearch()
+	events := []*datamodel.Event{
+		dimuonEvent(250, 240, true, true),
+		dimuonEvent(250, 240, false, true),
+		dimuonEvent(250, 240, true, false),
+		{},
+	}
+	flow, err := r.CutFlow(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// input=4; >=2 muons: 3; OS: 2; mass: 1.
+	want := []int{4, 3, 2, 1}
+	for i := range want {
+		if flow[i] != want[i] {
+			t.Fatalf("cutflow %v want %v", flow, want)
+		}
+	}
+}
+
+func TestMtAndMetVariables(t *testing.T) {
+	r := &AnalysisRecord{
+		Name: "W_SEARCH",
+		Objects: []ObjectDefinition{
+			{Name: "mu", Type: datamodel.ObjMuon, MinPt: 20},
+		},
+		Selection: []Cut{
+			{Variable: "met", Op: ">", Value: 20},
+			{Variable: "mt:mu", Op: ">", Value: 40},
+		},
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := &datamodel.Event{
+		Candidates: []datamodel.Candidate{
+			{Type: datamodel.ObjMuon, P: fourvec.PtEtaPhiM(40, 0, 0, 0.105), Charge: -1},
+		},
+		Missing: datamodel.MET{Pt: 40, Phi: math.Pi},
+	}
+	ok, err := r.Pass(e)
+	if err != nil || !ok {
+		t.Fatalf("W-like event failed: %v %v", ok, err)
+	}
+	e.Missing.Phi = 0 // MET parallel to muon: mT ~ 0
+	ok, _ = r.Pass(e)
+	if ok {
+		t.Fatal("parallel-MET event passed mT cut")
+	}
+}
+
+func TestEfficiencyGrid(t *testing.T) {
+	g := NewEfficiencyGrid("acc", 10, 0, 1000, 10, 0, 1000)
+	for i := 0; i < 100; i++ {
+		g.Record(250, 250, i < 40) // 40% in cell
+		g.Record(750, 750, i < 80) // 80% in cell
+	}
+	if eff, ok := g.Efficiency(250, 250); !ok || math.Abs(eff-0.4) > 1e-12 {
+		t.Fatalf("eff(250,250)=%v ok=%v", eff, ok)
+	}
+	if eff, ok := g.Efficiency(750, 750); !ok || math.Abs(eff-0.8) > 1e-12 {
+		t.Fatalf("eff(750,750)=%v ok=%v", eff, ok)
+	}
+	if _, ok := g.Efficiency(50, 950); ok {
+		t.Fatal("empty cell reported statistics")
+	}
+	g.Record(-5, 0, true) // out of range: dropped
+	if _, ok := g.Efficiency(-5, 0); ok {
+		t.Fatal("out-of-range lookup succeeded")
+	}
+}
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	r := dimuonSearch()
+	g := NewEfficiencyGrid("acc", 4, 0, 2000, 4, 0, 2000)
+	g.Record(500, 500, true)
+	r.Grids = []*EfficiencyGrid{g}
+	data, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"inv_mass:sig_muon"`) {
+		t.Fatalf("encoding incomplete:\n%s", data)
+	}
+	got, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != r.Name || len(got.Selection) != 3 || len(got.Grids) != 1 {
+		t.Fatal("round trip lost content")
+	}
+	if eff, ok := got.Grids[0].Efficiency(500, 500); !ok || eff != 1 {
+		t.Fatal("grid content lost")
+	}
+	if _, err := DecodeRecord([]byte("{bad")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeRecord([]byte(`{"name":"x","selection":[{"variable":"count:ghost","op":">","value":1}]}`)); err == nil {
+		t.Fatal("invalid record decoded")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	if err := db.Store(dimuonSearch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Store(dimuonSearch()); err == nil {
+		t.Fatal("duplicate stored")
+	}
+	if _, ok := db.Get("GPD_2013_DIMUON_HIGHMASS"); !ok {
+		t.Fatal("record missing")
+	}
+	if names := db.Names(); len(names) != 1 {
+		t.Fatalf("names: %v", names)
+	}
+	bad := dimuonSearch()
+	bad.Name = "BAD"
+	bad.Selection[0].Op = "~"
+	if err := db.Store(bad); err == nil {
+		t.Fatal("invalid record stored")
+	}
+}
+
+func TestFunctionRegistry(t *testing.T) {
+	names := Functions()
+	if len(names) < 4 {
+		t.Fatalf("registry: %v", names)
+	}
+	for _, n := range names {
+		f, ok := LookupFunction(n)
+		if !ok || f.Doc == "" {
+			t.Errorf("function %s undocumented", n)
+		}
+	}
+	if v, ok := Call("effective_mass.v1", 100, 50, 25); !ok || v != 175 {
+		t.Fatalf("effective_mass: %v %v", v, ok)
+	}
+	if _, ok := Call("effective_mass.v1"); ok {
+		t.Fatal("variadic minimum not enforced")
+	}
+	if v, ok := Call("razor_mr.v1", 100, 0, 100, 0); !ok || v != 200 {
+		t.Fatalf("razor: %v %v", v, ok)
+	}
+	if _, ok := Call("razor_mr.v1", 1, 2); ok {
+		t.Fatal("arity not enforced")
+	}
+	if _, ok := Call("ghost.v1", 1); ok {
+		t.Fatal("unknown function callable")
+	}
+	if v, ok := Call("cls_upper_limit95.v1", 0, 0); !ok || math.Abs(v-3.0) > 0.1 {
+		t.Fatalf("UL(0,0): %v %v", v, ok)
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate function registration did not panic")
+		}
+	}()
+	RegisterFunction(Function{Name: "effective_mass.v1"})
+}
+
+func TestReinterpret(t *testing.T) {
+	r := dimuonSearch()
+	var events []*datamodel.Event
+	// 40 passing, 60 failing events.
+	for i := 0; i < 40; i++ {
+		events = append(events, dimuonEvent(250, 240, true, true))
+	}
+	for i := 0; i < 60; i++ {
+		events = append(events, dimuonEvent(250, 240, true, false))
+	}
+	res, err := Reinterpret(r, events, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected != 40 || math.Abs(res.Acceptance-0.4) > 1e-12 {
+		t.Fatalf("acceptance: %+v", res)
+	}
+	if res.UpperLimitEvents <= 0 {
+		t.Fatal("no limit computed")
+	}
+	want := res.UpperLimitEvents / (0.4 * 20000)
+	if math.Abs(res.UpperLimitXsecPb-want) > 1e-12 {
+		t.Fatalf("xsec limit %v want %v", res.UpperLimitXsecPb, want)
+	}
+	// Zero acceptance: no cross-section limit claimable.
+	res2, err := Reinterpret(r, events[40:], 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UpperLimitXsecPb != 0 {
+		t.Fatal("limit claimed with zero acceptance")
+	}
+}
+
+func BenchmarkPass(b *testing.B) {
+	r := dimuonSearch()
+	e := dimuonEvent(250, 240, true, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Pass(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestExpectedLimitBand(t *testing.T) {
+	r := dimuonSearch()
+	rng := xrand.New(7)
+	lo, median, hi := r.ExpectedLimitBand(300, rng.Poisson)
+	if !(lo <= median && median <= hi) || lo == hi {
+		t.Fatalf("band: %v %v %v", lo, median, hi)
+	}
+	// Observed n=5 on b=4.2 is unexceptional: the observed limit must sit
+	// inside a generous band around the expectation.
+	obs := stats.UpperLimit(r.ObservedEvents, r.Background, 0.95)
+	if obs < lo/2 || obs > hi*2 {
+		t.Fatalf("observed %v outside band [%v, %v]", obs, lo, hi)
+	}
+}

@@ -1,0 +1,222 @@
+package outreach
+
+import (
+	"archive/zip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"daspos/internal/datamodel"
+	"daspos/internal/detector"
+)
+
+// The simplified event format: the common Level 2 representation the paper
+// argues for ("a common format, common event display, and a 'converter'
+// that would allow access to multiple experimental datasets"). Events are
+// small JSON documents; an exhibit is a zip container (like CMS's .ig)
+// bundling a geometry description with an event collection.
+
+// DisplayTrack is a charged track prepared for drawing: kinematics plus a
+// polyline through the detector.
+type DisplayTrack struct {
+	Pt     float64 `json:"pt"`
+	Eta    float64 `json:"eta"`
+	Phi    float64 `json:"phi"`
+	Charge float64 `json:"charge"`
+	// Points are (x, y, z) positions in mm along the trajectory.
+	Points [][3]float64 `json:"points"`
+}
+
+// DisplayTower is one calorimeter deposit for drawing.
+type DisplayTower struct {
+	Eta float64 `json:"eta"`
+	Phi float64 `json:"phi"`
+	E   float64 `json:"e"`
+	EM  bool    `json:"em"`
+}
+
+// DisplayObject is an identified physics object.
+type DisplayObject struct {
+	Type   string  `json:"type"`
+	Pt     float64 `json:"pt"`
+	Eta    float64 `json:"eta"`
+	Phi    float64 `json:"phi"`
+	Charge float64 `json:"charge"`
+	Mass   float64 `json:"mass"`
+}
+
+// SimplifiedEvent is the Level 2 event document.
+type SimplifiedEvent struct {
+	Run     uint32          `json:"run"`
+	Event   uint64          `json:"event"`
+	Tracks  []DisplayTrack  `json:"tracks,omitempty"`
+	Towers  []DisplayTower  `json:"towers,omitempty"`
+	Objects []DisplayObject `json:"objects,omitempty"`
+	MET     struct {
+		Pt  float64 `json:"pt"`
+		Phi float64 `json:"phi"`
+	} `json:"met"`
+}
+
+// Converter is the thin AOD→simplified layer (the "Finland converter").
+type Converter struct {
+	det *detector.Detector
+	// MinTrackPt and MinTowerE prune content below display relevance.
+	MinTrackPt float64
+	MinTowerE  float64
+	// PolylinePoints is the number of positions sampled along each track.
+	PolylinePoints int
+}
+
+// NewConverter returns a converter over the given geometry with
+// display-appropriate thresholds.
+func NewConverter(det *detector.Detector) *Converter {
+	return &Converter{det: det, MinTrackPt: 0.5, MinTowerE: 0.5, PolylinePoints: 12}
+}
+
+// Convert produces the simplified representation of one event at RECO or
+// AOD tier. RECO detail (tracks, clusters) enriches the display when
+// present; an AOD event still yields objects and MET.
+func (c *Converter) Convert(e *datamodel.Event) *SimplifiedEvent {
+	out := &SimplifiedEvent{Run: e.Run, Event: e.Number}
+	out.MET.Pt = round3(e.Missing.Pt)
+	out.MET.Phi = round3(e.Missing.Phi)
+	for _, t := range e.Tracks {
+		if t.P.Pt() < c.MinTrackPt {
+			continue
+		}
+		out.Tracks = append(out.Tracks, DisplayTrack{
+			Pt: round3(t.P.Pt()), Eta: round3(t.P.Eta()), Phi: round3(t.P.Phi()),
+			Charge: t.Charge,
+			Points: c.polyline(t),
+		})
+	}
+	for _, cl := range e.Clusters {
+		if cl.E < c.MinTowerE {
+			continue
+		}
+		out.Towers = append(out.Towers, DisplayTower{
+			Eta: round3(cl.Eta), Phi: round3(cl.Phi), E: round3(cl.E), EM: cl.EM,
+		})
+	}
+	for _, cand := range e.Candidates {
+		out.Objects = append(out.Objects, DisplayObject{
+			Type: cand.Type.String(), Pt: round3(cand.P.Pt()), Eta: round3(cand.P.Eta()),
+			Phi: round3(cand.P.Phi()), Charge: cand.Charge, Mass: round3(cand.P.M()),
+		})
+	}
+	return out
+}
+
+// round3 trims display quantities to three decimals: the simplified
+// format is for human eyes and classroom histograms, and full float64
+// precision would triple the exhibit size for nothing.
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// round1 trims positions to 0.1 mm.
+func round1(x float64) float64 { return math.Round(x*10) / 10 }
+
+// polyline samples the track helix from the beamline to the outermost
+// tracker radius.
+func (c *Converter) polyline(t datamodel.Track) [][3]float64 {
+	n := c.PolylinePoints
+	if n < 2 {
+		n = 2
+	}
+	trackerLayers := c.det.TrackerLayers()
+	rMax := 700.0
+	if len(trackerLayers) > 0 {
+		rMax = c.det.Layer(trackerLayers[len(trackerLayers)-1]).Radius
+	}
+	rho := t.P.Pt() / (0.3 * c.det.BField) * 1000 // mm
+	if 2*rho < rMax {
+		rMax = 2 * rho * 0.95 // looper: stop before the turning point
+	}
+	pts := make([][3]float64, 0, n)
+	for i := 0; i < n; i++ {
+		r := rMax * float64(i) / float64(n-1)
+		bend := 0.0
+		if rho > 0 {
+			bend = math.Asin(r / (2 * rho))
+		}
+		phi := t.P.Phi() - t.Charge*bend
+		z := t.Z0 + r*math.Sinh(t.P.Eta())
+		pts = append(pts, [3]float64{
+			round1(r * math.Cos(phi)), round1(r * math.Sin(phi)), round1(z),
+		})
+	}
+	return pts
+}
+
+// Exhibit I/O: a zip container with geometry.json plus events/NNNNN.json —
+// the self-documenting ig-like bundle of Table 1's CMS row.
+
+// WriteExhibit bundles a geometry and events into an exhibit.
+func WriteExhibit(w io.Writer, det *detector.Detector, events []*SimplifiedEvent) error {
+	zw := zip.NewWriter(w)
+	gf, err := zw.Create("geometry.json")
+	if err != nil {
+		return err
+	}
+	if err := det.WriteJSON(gf); err != nil {
+		return err
+	}
+	for i, e := range events {
+		ef, err := zw.Create(fmt.Sprintf("events/%05d.json", i))
+		if err != nil {
+			return err
+		}
+		if err := json.NewEncoder(ef).Encode(e); err != nil {
+			return err
+		}
+	}
+	return zw.Close()
+}
+
+// ReadExhibit opens an exhibit, returning the geometry and the events in
+// file order.
+func ReadExhibit(r io.ReaderAt, size int64) (*detector.Detector, []*SimplifiedEvent, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, nil, fmt.Errorf("outreach: opening exhibit: %w", err)
+	}
+	var det *detector.Detector
+	var eventFiles []*zip.File
+	for _, f := range zr.File {
+		switch {
+		case f.Name == "geometry.json":
+			rc, err := f.Open()
+			if err != nil {
+				return nil, nil, err
+			}
+			det, err = detector.ReadJSON(rc)
+			rc.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+		case len(f.Name) > 7 && f.Name[:7] == "events/":
+			eventFiles = append(eventFiles, f)
+		}
+	}
+	if det == nil {
+		return nil, nil, fmt.Errorf("outreach: exhibit has no geometry.json")
+	}
+	sort.Slice(eventFiles, func(i, j int) bool { return eventFiles[i].Name < eventFiles[j].Name })
+	var events []*SimplifiedEvent
+	for _, f := range eventFiles {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, nil, err
+		}
+		var e SimplifiedEvent
+		err = json.NewDecoder(rc).Decode(&e)
+		rc.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("outreach: parsing %s: %w", f.Name, err)
+		}
+		events = append(events, &e)
+	}
+	return det, events, nil
+}

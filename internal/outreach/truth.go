@@ -1,0 +1,77 @@
+package outreach
+
+import (
+	"math"
+
+	"daspos/internal/hepmc"
+	"daspos/internal/units"
+)
+
+// Truth-level conversion for the displaced-decay master classes. The LHCb
+// "D lifetime" and ALICE "V0" exercises of Table 1 operate on preprocessed
+// candidate lists (the collaborations select and fit the decays before the
+// classroom ever sees them); ConvertTruth plays the role of that
+// preprocessing, extracting decay candidates with flight information from
+// the generator record into the simplified format.
+
+// DecayCandidate is one preprocessed displaced-decay candidate.
+type DecayCandidate struct {
+	// Species is the decayed particle's name ("D0", "K0_S", "Lambda0");
+	// antiparticles share the particle name, as the classroom exercises do.
+	Species string `json:"species"`
+	// Mass is the invariant mass of the decay products (GeV).
+	Mass float64 `json:"mass"`
+	// Pt and P are the candidate's transverse and total momentum (GeV).
+	Pt float64 `json:"pt"`
+	P  float64 `json:"p"`
+	// FlightMM is the decay length in mm.
+	FlightMM float64 `json:"flight_mm"`
+	// ProperTimePs is m·L/(p·c) in picoseconds: the lifetime observable.
+	ProperTimePs float64 `json:"proper_time_ps"`
+}
+
+// ConvertTruth extracts the displaced-decay candidates of one generator
+// event. Only two-body decays of known long-lived species are kept,
+// mirroring the exercises' candidate preselection.
+func ConvertTruth(ev *hepmc.Event) []DecayCandidate {
+	var out []DecayCandidate
+	for _, p := range ev.Particles {
+		if p.Status != hepmc.StatusDecayed {
+			continue
+		}
+		code := p.PDG
+		if code < 0 {
+			code = -code
+		}
+		switch code {
+		case units.PDGDZero, units.PDGKZeroShort, units.PDGLambda:
+		default:
+			continue
+		}
+		kids := ev.Children(p.Barcode)
+		if len(kids) != 2 {
+			continue
+		}
+		prod, dec := ev.Vertex(p.ProdVertex), ev.Vertex(p.EndVertex)
+		if prod == nil || dec == nil {
+			continue
+		}
+		dx, dy, dz := dec.X-prod.X, dec.Y-prod.Y, dec.Z-prod.Z
+		flight := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		sum := kids[0].P.Add(kids[1].P)
+		mom := sum.P()
+		if mom <= 0 {
+			continue
+		}
+		sp, _ := units.Lookup(code)
+		out = append(out, DecayCandidate{
+			Species:      sp.Name,
+			Mass:         round3(sum.M()),
+			Pt:           round3(sum.Pt()),
+			P:            round3(mom),
+			FlightMM:     round3(flight),
+			ProperTimePs: round3(sum.M() * flight / (mom * units.SpeedOfLight) * 1e3),
+		})
+	}
+	return out
+}

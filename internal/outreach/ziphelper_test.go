@@ -1,0 +1,26 @@
+package outreach
+
+import (
+	"archive/zip"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// newZipWithEventOnly writes a zip containing one event file but no
+// geometry, for negative-path testing.
+func newZipWithEventOnly(t *testing.T, w io.Writer) *zip.Writer {
+	t.Helper()
+	zw := zip.NewWriter(w)
+	f, err := zw.Create("events/00000.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(f).Encode(&SimplifiedEvent{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return zw
+}

@@ -1,0 +1,309 @@
+package provenance
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// buildChain stores a linear RAW → RECO → AOD → DERIVED chain and returns
+// the store plus the IDs in production order.
+func buildChain(t *testing.T) (*Store, []string) {
+	t.Helper()
+	s := NewStore()
+	var ids []string
+	prev := []string(nil)
+	for _, tier := range []string{"RAW", "RECO", "AOD", "DERIVED"} {
+		id, err := s.Add(Record{
+			Output:   Artifact{Name: "run1." + tier, Digest: "d-" + tier, Tier: tier, Events: 100, Bytes: 1 << 20},
+			Producer: Producer{Step: "make-" + tier, Software: "daspos", Version: "1.0", ConfigDigest: "c"},
+			Parents:  prev,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		prev = []string{id}
+	}
+	return s, ids
+}
+
+func TestAddAndGet(t *testing.T) {
+	s, ids := buildChain(t)
+	if s.Len() != 4 {
+		t.Fatalf("len %d", s.Len())
+	}
+	r, ok := s.Get(ids[2])
+	if !ok || r.Output.Tier != "AOD" {
+		t.Fatalf("get: %+v %v", r, ok)
+	}
+	if r.Seq != 2 {
+		t.Fatalf("seq %d", r.Seq)
+	}
+	byName, ok := s.ByName("run1.AOD")
+	if !ok || byName.ID != ids[2] {
+		t.Fatal("ByName lookup failed")
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("phantom record")
+	}
+}
+
+func TestAddRejectsUnknownParent(t *testing.T) {
+	s := NewStore()
+	_, err := s.Add(Record{
+		Output:  Artifact{Name: "x"},
+		Parents: []string{"missing"},
+	})
+	if !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestIDsAreContentAddresses(t *testing.T) {
+	a := NewStore()
+	b := NewStore()
+	r := Record{Output: Artifact{Name: "x", Digest: "d"}, Producer: Producer{Step: "s"}}
+	id1, err := a.Add(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := b.Add(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatal("identical records got different IDs")
+	}
+	// A different config digest must change the ID.
+	c := NewStore()
+	r2 := r
+	r2.Producer.ConfigDigest = "changed"
+	id3, _ := c.Add(r2)
+	if id3 == id1 {
+		t.Fatal("config change did not change record ID")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	s := NewStore()
+	r := Record{Output: Artifact{Name: "x"}}
+	if _, err := s.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	// Second add gets a different Seq, hence a different ID — but adding
+	// the same record twice with a forced equal sequence must fail. We
+	// simulate by adding until the ID collides: instead check that same
+	// content at same seq is impossible through the public API.
+	if _, err := s.Add(r); err != nil {
+		t.Fatalf("records at different seq must coexist: %v", err)
+	}
+}
+
+func TestLineage(t *testing.T) {
+	s, ids := buildChain(t)
+	lin, err := s.Lineage(ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 4 {
+		t.Fatalf("lineage length %d", len(lin))
+	}
+	if lin[0].Output.Tier != "DERIVED" || lin[3].Output.Tier != "RAW" {
+		t.Fatalf("lineage order: %s .. %s", lin[0].Output.Tier, lin[3].Output.Tier)
+	}
+	if _, err := s.Lineage("nope"); err == nil {
+		t.Fatal("lineage of unknown record succeeded")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	s, ids := buildChain(t)
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s.records[ids[1]].Output.Events = 999 // tamper in place
+	if err := s.Verify(); err == nil {
+		t.Fatal("tampering not detected")
+	}
+}
+
+func TestAuditCompleteChain(t *testing.T) {
+	s, _ := buildChain(t)
+	rep := s.Audit()
+	if rep.Records != 4 || rep.Complete != 4 || len(rep.Broken) != 0 {
+		t.Fatalf("audit: %+v", rep)
+	}
+	if rep.CompleteFraction() != 1 {
+		t.Fatalf("fraction %v", rep.CompleteFraction())
+	}
+}
+
+func TestAuditDetectsLostParentage(t *testing.T) {
+	s, ids := buildChain(t)
+	// Simulate the paper's failure: the RECO record was never written.
+	r := s.records[ids[1]]
+	delete(s.records, ids[1])
+	delete(s.byName, r.Output.Name)
+	rep := s.Audit()
+	// RAW survives (root); AOD and DERIVED are broken.
+	if rep.Records != 3 || rep.Complete != 1 || len(rep.Broken) != 2 {
+		t.Fatalf("audit after loss: %+v", rep)
+	}
+	if rep.CompleteFraction() > 0.5 {
+		t.Fatalf("fraction %v", rep.CompleteFraction())
+	}
+}
+
+func TestForgetEveryNth(t *testing.T) {
+	s := NewStore()
+	// Ten independent chains RAW → RECO → AOD: the RECO records are the
+	// forgettable intermediates.
+	for i := 0; i < 10; i++ {
+		suffix := string(rune('a' + i))
+		rootID, err := s.Add(Record{Output: Artifact{Name: "raw" + suffix}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recoID, err := s.Add(Record{
+			Output:  Artifact{Name: "reco" + suffix},
+			Parents: []string{rootID},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add(Record{
+			Output:  Artifact{Name: "aod" + suffix},
+			Parents: []string{recoID},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Audit()
+	if before.CompleteFraction() != 1 {
+		t.Fatal("chains not complete before forgetting")
+	}
+	dropped := s.ForgetEveryNth(2)
+	if dropped != 5 {
+		t.Fatalf("dropped %d intermediates, want 5", dropped)
+	}
+	after := s.Audit()
+	// Five AOD records lost their chains; everything else survives.
+	if len(after.Broken) != 5 {
+		t.Fatalf("audit after loss: %+v", after)
+	}
+	if after.CompleteFraction() >= 1 {
+		t.Fatal("forgetting did not break completeness")
+	}
+	if s.ForgetEveryNth(1) != 0 {
+		t.Fatal("n<2 must be a no-op")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, ids := buildChain(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len %d != %d", got.Len(), s.Len())
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	lin, err := got.Lineage(ids[3])
+	if err != nil || len(lin) != 4 {
+		t.Fatalf("lineage after reload: %d %v", len(lin), err)
+	}
+	// New records must continue the sequence, not collide with it.
+	id, err := got.Add(Record{Output: Artifact{Name: "new"}, Parents: []string{ids[3]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := got.Get(id)
+	if r.Seq != 4 {
+		t.Fatalf("resumed seq %d", r.Seq)
+	}
+}
+
+func TestReadJSONDetectsTampering(t *testing.T) {
+	s, _ := buildChain(t)
+	var buf bytes.Buffer
+	_ = s.WriteJSON(&buf)
+	tampered := strings.Replace(buf.String(), `"events": 100`, `"events": 666`, 1)
+	if _, err := ReadJSON(strings.NewReader(tampered)); err == nil {
+		t.Fatal("tampered store loaded")
+	}
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Fatal("garbage loaded")
+	}
+}
+
+func TestReadJSONToleratesDanglingParents(t *testing.T) {
+	s, ids := buildChain(t)
+	r := s.records[ids[1]]
+	delete(s.records, ids[1])
+	delete(s.byName, r.Output.Name)
+	var buf bytes.Buffer
+	_ = s.WriteJSON(&buf)
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("incomplete chain must load: %v", err)
+	}
+	rep := got.Audit()
+	if len(rep.Broken) != 2 {
+		t.Fatalf("audit after reload: %+v", rep)
+	}
+}
+
+func TestAllOrderedBySeq(t *testing.T) {
+	s, _ := buildChain(t)
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Fatal("All not ordered by sequence")
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewStore()
+	prev, _ := s.Add(Record{Output: Artifact{Name: "root"}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := s.Add(Record{
+			Output:  Artifact{Name: "a", Digest: "d", Events: i},
+			Parents: []string{prev},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = id
+	}
+}
+
+func BenchmarkAudit1000(b *testing.B) {
+	s := NewStore()
+	prev := ""
+	for i := 0; i < 1000; i++ {
+		var parents []string
+		if prev != "" {
+			parents = []string{prev}
+		}
+		id, err := s.Add(Record{Output: Artifact{Name: "n", Events: i}, Parents: parents})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prev = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Audit()
+	}
+}

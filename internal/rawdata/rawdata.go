@@ -1,0 +1,282 @@
+// Package rawdata implements digitization and the raw-event binary format:
+// the "raw binary data read out from the detector elements" at the base of
+// every workflow the paper analyses (§3.2).
+//
+// Digitization converts simulated hits and deposits into per-partition
+// banks of (channel, ADC) words. Two properties matter for preservation:
+// raw data is the largest tier (experiment W1 measures the size cascade
+// from here down), and it carries no Monte Carlo truth links — the
+// association to generated particles exists only in the simulation output,
+// so any provenance must be recorded externally (experiment W3).
+package rawdata
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"daspos/internal/detector"
+	"daspos/internal/sim"
+)
+
+// Partition identifies a detector readout partition (one Bank each).
+type Partition uint16
+
+// Readout partitions.
+const (
+	PartTracker Partition = iota + 1
+	PartECal
+	PartHCal
+	PartMuon
+)
+
+// String returns the partition name.
+func (p Partition) String() string {
+	switch p {
+	case PartTracker:
+		return "tracker"
+	case PartECal:
+		return "ecal"
+	case PartHCal:
+		return "hcal"
+	case PartMuon:
+		return "muon"
+	default:
+		return fmt.Sprintf("partition(%d)", uint16(p))
+	}
+}
+
+// Word is one digitized channel reading.
+type Word struct {
+	Channel detector.ChannelID
+	// ADC is the digitized amplitude. Tracker and muon channels record a
+	// binary threshold crossing plus charge; calorimeter channels encode
+	// energy at 20 MeV per count, saturating at the 16-bit ceiling.
+	ADC uint16
+}
+
+// Bank is the readout of one partition for one event.
+type Bank struct {
+	Partition Partition
+	Words     []Word
+}
+
+// Event is one built raw event.
+type Event struct {
+	Run    uint32
+	Number uint64
+	Banks  []Bank
+}
+
+// caloGeVPerCount is the calorimeter energy quantization.
+const caloGeVPerCount = 0.020
+
+// EncodeEnergy converts GeV to saturating ADC counts.
+func EncodeEnergy(gev float64) uint16 {
+	counts := math.Round(gev / caloGeVPerCount)
+	if counts <= 0 {
+		return 0
+	}
+	if counts >= math.MaxUint16 {
+		return math.MaxUint16
+	}
+	return uint16(counts)
+}
+
+// DecodeEnergy converts ADC counts back to GeV.
+func DecodeEnergy(adc uint16) float64 { return float64(adc) * caloGeVPerCount }
+
+// Digitize converts a simulated event into a raw event for the given run.
+// Words within each bank are sorted by channel, as a real event builder
+// would emit them; duplicate channels (pileup pile-on, noise on a hit
+// channel) are merged by summing ADC.
+func Digitize(run uint32, se *sim.Event) *Event {
+	ev := &Event{Run: run, Number: uint64(se.Number)}
+	tracker := make(map[detector.ChannelID]uint32)
+	ecal := make(map[detector.ChannelID]uint32)
+	hcal := make(map[detector.ChannelID]uint32)
+	muon := make(map[detector.ChannelID]uint32)
+	for _, h := range se.TrackerHits {
+		tracker[h.Channel] += 64 // nominal charge over threshold
+	}
+	for _, h := range se.MuonHits {
+		muon[h.Channel] += 64
+	}
+	for _, d := range se.Deposits {
+		m := hcal
+		if d.EM {
+			m = ecal
+		}
+		m[d.Channel] += uint32(EncodeEnergy(d.Energy))
+	}
+	ev.Banks = []Bank{
+		bankFrom(PartTracker, tracker),
+		bankFrom(PartECal, ecal),
+		bankFrom(PartHCal, hcal),
+		bankFrom(PartMuon, muon),
+	}
+	return ev
+}
+
+func bankFrom(p Partition, m map[detector.ChannelID]uint32) Bank {
+	words := make([]Word, 0, len(m))
+	for ch, adc := range m {
+		if adc > math.MaxUint16 {
+			adc = math.MaxUint16
+		}
+		if adc == 0 {
+			continue
+		}
+		words = append(words, Word{Channel: ch, ADC: uint16(adc)})
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i].Channel < words[j].Channel })
+	return Bank{Partition: p, Words: words}
+}
+
+// Bank returns the bank for a partition, or nil.
+func (e *Event) Bank(p Partition) *Bank {
+	for i := range e.Banks {
+		if e.Banks[i].Partition == p {
+			return &e.Banks[i]
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the encoded size of the event, the quantity the
+// tier-reduction experiment tracks.
+func (e *Event) SizeBytes() int {
+	n := 4 + 4 + 8 + 2 // magic, run, number, nbanks
+	for _, b := range e.Banks {
+		n += 2 + 4 + len(b.Words)*6 + 4 // partition, count, words, crc
+	}
+	return n
+}
+
+// Binary framing. All integers are little-endian. Each event:
+//
+//	magic(4) run(4) number(8) nbanks(2)
+//	per bank: partition(2) nwords(4) [channel(4) adc(2)]... crc32(4)
+//
+// The CRC covers the bank body and catches bit rot in archived raw files;
+// fixity at file granularity is the archive layer's job.
+
+const eventMagic = 0xDA5B05E1
+
+// ErrCorrupt is wrapped by all decoding errors.
+var ErrCorrupt = errors.New("rawdata: corrupt stream")
+
+// WriteEvent encodes one event to w.
+func WriteEvent(w io.Writer, e *Event) error {
+	hdr := make([]byte, 18)
+	binary.LittleEndian.PutUint32(hdr[0:], eventMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], e.Run)
+	binary.LittleEndian.PutUint64(hdr[8:], e.Number)
+	binary.LittleEndian.PutUint16(hdr[16:], uint16(len(e.Banks)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for _, b := range e.Banks {
+		body := make([]byte, 6+len(b.Words)*6)
+		binary.LittleEndian.PutUint16(body[0:], uint16(b.Partition))
+		binary.LittleEndian.PutUint32(body[2:], uint32(len(b.Words)))
+		for i, wd := range b.Words {
+			off := 6 + i*6
+			binary.LittleEndian.PutUint32(body[off:], uint32(wd.Channel))
+			binary.LittleEndian.PutUint16(body[off+4:], wd.ADC)
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+		if _, err := w.Write(crc[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadEvent decodes one event from r, returning io.EOF at a clean end of
+// stream.
+func ReadEvent(r io.Reader) (*Event, error) {
+	hdr := make([]byte, 18)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != eventMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	e := &Event{
+		Run:    binary.LittleEndian.Uint32(hdr[4:]),
+		Number: binary.LittleEndian.Uint64(hdr[8:]),
+	}
+	nbanks := int(binary.LittleEndian.Uint16(hdr[16:]))
+	for i := 0; i < nbanks; i++ {
+		bh := make([]byte, 6)
+		if _, err := io.ReadFull(r, bh); err != nil {
+			return nil, fmt.Errorf("%w: truncated bank header: %v", ErrCorrupt, err)
+		}
+		nwords := int(binary.LittleEndian.Uint32(bh[2:]))
+		if nwords > 1<<24 {
+			return nil, fmt.Errorf("%w: unreasonable bank size %d", ErrCorrupt, nwords)
+		}
+		body := make([]byte, 6+nwords*6)
+		copy(body, bh)
+		if _, err := io.ReadFull(r, body[6:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated bank body: %v", ErrCorrupt, err)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated bank crc: %v", ErrCorrupt, err)
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(body) {
+			return nil, fmt.Errorf("%w: bank %d crc mismatch", ErrCorrupt, i)
+		}
+		b := Bank{
+			Partition: Partition(binary.LittleEndian.Uint16(body[0:])),
+			Words:     make([]Word, nwords),
+		}
+		for j := 0; j < nwords; j++ {
+			off := 6 + j*6
+			b.Words[j] = Word{
+				Channel: detector.ChannelID(binary.LittleEndian.Uint32(body[off:])),
+				ADC:     binary.LittleEndian.Uint16(body[off+4:]),
+			}
+		}
+		e.Banks = append(e.Banks, b)
+	}
+	return e, nil
+}
+
+// WriteFile encodes a sequence of events.
+func WriteFile(w io.Writer, events []*Event) error {
+	for _, e := range events {
+		if err := WriteEvent(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile decodes all events from r.
+func ReadFile(r io.Reader) ([]*Event, error) {
+	var out []*Event
+	for {
+		e, err := ReadEvent(r)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,254 @@
+package recast
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// The HTTP front end. Routes:
+//
+//	GET  /analyses                  public catalogue
+//	POST /requests                  submit {analysis, requester, motivation, model}
+//	GET  /requests/{id}             request status and (when done) result
+//	POST /requests/{id}/approve     experiment role
+//	POST /requests/{id}/reject      experiment role, body {reason}
+//	POST /requests/{id}/process     experiment role; runs the back end
+//
+// Experiment-internal routes require the header "X-Recast-Role: experiment"
+// — a stand-in for the experiment's real authentication, keeping the
+// "closed system" boundary visible in the API.
+
+// roleHeader gates experiment-internal endpoints.
+const (
+	roleHeader     = "X-Recast-Role"
+	roleExperiment = "experiment"
+)
+
+// Handler returns the front end as an http.Handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /analyses", s.handleAnalyses)
+	mux.HandleFunc("POST /requests", s.handleSubmit)
+	mux.HandleFunc("GET /requests/{id}", s.handleGet)
+	mux.HandleFunc("POST /requests/{id}/approve", s.experimentOnly(s.handleApprove))
+	mux.HandleFunc("POST /requests/{id}/reject", s.experimentOnly(s.handleReject))
+	mux.HandleFunc("POST /requests/{id}/process", s.experimentOnly(s.handleProcess))
+	return mux
+}
+
+func (s *Service) experimentOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(roleHeader) != roleExperiment {
+			httpError(w, http.StatusForbidden, "experiment role required")
+			return
+		}
+		next(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Service) handleAnalyses(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Analyses())
+}
+
+// submitBody is the POST /requests payload.
+type submitBody struct {
+	Analysis   string    `json:"analysis"`
+	Requester  string    `json:"requester"`
+	Motivation string    `json:"motivation,omitempty"`
+	Model      ModelSpec `json:"model"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	req, err := s.Submit(body.Analysis, body.Requester, body.Motivation, body.Model)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, req)
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	req, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, req)
+}
+
+func (s *Service) handleApprove(w http.ResponseWriter, r *http.Request) {
+	if err := s.Approve(r.PathValue("id")); err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	req, _ := s.Get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, req)
+}
+
+func (s *Service) handleReject(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Reason string `json:"reason"`
+	}
+	_ = json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body)
+	if err := s.Reject(r.PathValue("id"), body.Reason); err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	req, _ := s.Get(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, req)
+}
+
+func (s *Service) handleProcess(w http.ResponseWriter, r *http.Request) {
+	req, err := s.Process(r.PathValue("id"))
+	if err != nil {
+		// A failed back end still updated the request; report both.
+		code := statusFor(err)
+		if req != nil {
+			writeJSON(w, code, req)
+			return
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, req)
+}
+
+func statusFor(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "no such request"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "wrong state"), strings.Contains(msg, "not approved"):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Client is a Go client for the front end, as a requester or as the
+// experiment (set Experiment to send the role header).
+type Client struct {
+	BaseURL    string
+	HTTP       *http.Client
+	Experiment bool
+}
+
+func (c *Client) do(method, path string, body, out interface{}) error {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Experiment {
+		req.Header.Set(roleHeader, roleExperiment)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("recast: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+		}
+		// A process failure returns the request body with failed status.
+		if out != nil && json.Unmarshal(data, out) == nil {
+			return fmt.Errorf("recast: %s %s: status %d", method, path, resp.StatusCode)
+		}
+		return fmt.Errorf("recast: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Analyses fetches the public catalogue.
+func (c *Client) Analyses() ([]AnalysisInfo, error) {
+	var out []AnalysisInfo
+	err := c.do(http.MethodGet, "/analyses", nil, &out)
+	return out, err
+}
+
+// Submit files a request and returns its server-side record.
+func (c *Client) Submit(analysis, requester, motivation string, model ModelSpec) (*Request, error) {
+	var out Request
+	err := c.do(http.MethodPost, "/requests", submitBody{
+		Analysis: analysis, Requester: requester, Motivation: motivation, Model: model,
+	}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Get polls a request.
+func (c *Client) Get(id string) (*Request, error) {
+	var out Request
+	if err := c.do(http.MethodGet, "/requests/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Approve approves a request (experiment role).
+func (c *Client) Approve(id string) error {
+	return c.do(http.MethodPost, "/requests/"+id+"/approve", nil, nil)
+}
+
+// Reject rejects a request with a reason (experiment role).
+func (c *Client) Reject(id, reason string) error {
+	return c.do(http.MethodPost, "/requests/"+id+"/reject", map[string]string{"reason": reason}, nil)
+}
+
+// ProcessRequest triggers back-end processing (experiment role) and
+// returns the completed request.
+func (c *Client) ProcessRequest(id string) (*Request, error) {
+	var out Request
+	if err := c.do(http.MethodPost, "/requests/"+id+"/process", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,73 @@
+package recast
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Request-ledger persistence: the service's archival record. Requests,
+// approvals, rejections, and results survive a restart; subscriptions are
+// code-backed (the experiment re-registers its preserved analyses at
+// startup), so only the ledger serializes.
+
+// DumpRequests writes the full request ledger as JSON.
+func (s *Service) DumpRequests(w io.Writer) error {
+	reqs := s.List()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reqs)
+}
+
+// LoadRequests restores a dumped ledger into an empty service. It fails if
+// the service already holds requests (the ledger is the source of truth,
+// not a merge input), if IDs collide, or if any request references an
+// unknown status.
+func (s *Service) LoadRequests(r io.Reader) error {
+	var reqs []*Request
+	if err := json.NewDecoder(r).Decode(&reqs); err != nil {
+		return fmt.Errorf("recast: parsing request ledger: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.requests) > 0 {
+		return fmt.Errorf("recast: service already holds %d requests", len(s.requests))
+	}
+	maxID := 0
+	seen := make(map[string]bool, len(reqs))
+	for _, req := range reqs {
+		if req.ID == "" || seen[req.ID] {
+			return fmt.Errorf("recast: ledger has missing or duplicate ID %q", req.ID)
+		}
+		switch req.Status {
+		case StatusSubmitted, StatusApproved, StatusRejected, StatusDone, StatusFailed:
+		default:
+			return fmt.Errorf("recast: ledger request %s has unknown status %q", req.ID, req.Status)
+		}
+		seen[req.ID] = true
+		if n, ok := parseRequestID(req.ID); ok && n > maxID {
+			maxID = n
+		}
+	}
+	for _, req := range reqs {
+		cp := cloneRequest(req)
+		s.requests[cp.ID] = cp
+	}
+	s.nextID = maxID
+	return nil
+}
+
+// parseRequestID extracts the sequence number from "req-NNNNNN".
+func parseRequestID(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "req-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

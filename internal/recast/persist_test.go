@@ -1,0 +1,85 @@
+package recast
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLedgerRoundTrip(t *testing.T) {
+	svc := newFullSimService(t)
+	// One request in each interesting state.
+	done, _ := svc.Submit("GPD_2013_DIMUON_HIGHMASS", "a", "", validModel())
+	_ = svc.Approve(done.ID)
+	if _, err := svc.Process(done.ID); err != nil {
+		t.Fatal(err)
+	}
+	rejected, _ := svc.Submit("GPD_2013_DIMUON_HIGHMASS", "b", "", validModel())
+	_ = svc.Reject(rejected.ID, "duplicate of published limits")
+	pending, _ := svc.Submit("GPD_2013_DIMUON_HIGHMASS", "c", "", validModel())
+
+	var buf bytes.Buffer
+	if err := svc.DumpRequests(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh service after restart: the experiment re-subscribes, then
+	// loads the ledger.
+	restarted := newFullSimService(t)
+	if err := restarted.LoadRequests(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got, err := restarted.Get(done.ID)
+	if err != nil || got.Status != StatusDone || got.Result == nil {
+		t.Fatalf("done request after restart: %+v %v", got, err)
+	}
+	gotRej, _ := restarted.Get(rejected.ID)
+	if gotRej.Status != StatusRejected || gotRej.Reason == "" {
+		t.Fatalf("rejected request after restart: %+v", gotRej)
+	}
+	// The pending request can continue its lifecycle.
+	if err := restarted.Approve(pending.ID); err != nil {
+		t.Fatal(err)
+	}
+	finished, err := restarted.Process(pending.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finished.Status != StatusDone {
+		t.Fatalf("resumed request: %+v", finished)
+	}
+	// New submissions continue the ID sequence, no collisions.
+	fresh, err := restarted.Submit("GPD_2013_DIMUON_HIGHMASS", "d", "", validModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == done.ID || fresh.ID == rejected.ID || fresh.ID == pending.ID {
+		t.Fatalf("ID collision after restart: %s", fresh.ID)
+	}
+	if fresh.ID != "req-000004" {
+		t.Fatalf("sequence not resumed: %s", fresh.ID)
+	}
+}
+
+func TestLoadRequestsValidation(t *testing.T) {
+	svc := newFullSimService(t)
+	if err := svc.LoadRequests(strings.NewReader("{bad")); err == nil {
+		t.Fatal("garbage ledger loaded")
+	}
+	if err := svc.LoadRequests(strings.NewReader(`[{"id":"req-000001","status":"warp"}]`)); err == nil {
+		t.Fatal("unknown status loaded")
+	}
+	if err := svc.LoadRequests(strings.NewReader(`[{"id":"","status":"submitted"}]`)); err == nil {
+		t.Fatal("empty ID loaded")
+	}
+	if err := svc.LoadRequests(strings.NewReader(`[{"id":"req-000001","status":"submitted"},{"id":"req-000001","status":"submitted"}]`)); err == nil {
+		t.Fatal("duplicate IDs loaded")
+	}
+	// Non-empty service refuses a load.
+	if _, err := svc.Submit("GPD_2013_DIMUON_HIGHMASS", "x", "", validModel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.LoadRequests(strings.NewReader(`[]`)); err == nil {
+		t.Fatal("load into non-empty service accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package recast
+
+import (
+	"sync"
+)
+
+// Queue runs approved requests through the back end with a fixed worker
+// pool: the "computing back-end" whose capacity the experiment provisions.
+type Queue struct {
+	svc     *Service
+	jobs    chan string
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	results map[string]error
+	closed  bool
+}
+
+// NewQueue starts workers processing enqueued request IDs. Close the queue
+// with Wait after the last Enqueue.
+func NewQueue(svc *Service, workers int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Queue{
+		svc:     svc,
+		jobs:    make(chan string, 64),
+		results: make(map[string]error),
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for id := range q.jobs {
+		_, err := q.svc.Process(id)
+		q.mu.Lock()
+		q.results[id] = err
+		q.mu.Unlock()
+	}
+}
+
+// Enqueue schedules an approved request. It reports false once the queue
+// has been closed.
+func (q *Queue) Enqueue(id string) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.mu.Unlock()
+	q.jobs <- id
+	return true
+}
+
+// Wait closes intake and blocks until all enqueued work is finished,
+// returning per-request errors.
+func (q *Queue) Wait() map[string]error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]error, len(q.results))
+	for k, v := range q.results {
+		out[k] = v
+	}
+	return out
+}

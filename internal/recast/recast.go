@@ -1,0 +1,410 @@
+// Package recast implements the RECAST-style reinterpretation framework of
+// §2.3: "a 'front end' interface to the outside world where those
+// interested in re-using an analysis can submit requests ... The RECAST
+// API would mediate between the user interface and various capabilities
+// provided by the 'back end' processing installation. The back end does
+// all of the processing and analysis work, and the results, if approved,
+// are returned to the user."
+//
+// The design preserves the paper's "closed system" properties: the
+// experiment subscribes analyses (exposing only name and description, not
+// the implementation), every request needs explicit experiment approval
+// before the back end runs, and the requester only ever sees the final
+// numbers. Back ends are pluggable — the full-simulation chain here, or
+// the RIVET bridge of package bridge (the DASPOS interoperability project
+// the paper's conclusions announce).
+package recast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"daspos/internal/conditions"
+	"daspos/internal/datamodel"
+	"daspos/internal/detector"
+	"daspos/internal/generator"
+	"daspos/internal/leshouches"
+	"daspos/internal/rawdata"
+	"daspos/internal/reco"
+	"daspos/internal/sim"
+)
+
+// Status is a request's lifecycle state.
+type Status string
+
+// Request lifecycle: submitted → approved|rejected; approved → done|failed.
+const (
+	StatusSubmitted Status = "submitted"
+	StatusApproved  Status = "approved"
+	StatusRejected  Status = "rejected"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+)
+
+// ModelSpec is the new-physics model a requester submits.
+type ModelSpec struct {
+	// Process names the signal hypothesis; "zprime" is the supported
+	// catalogue entry (mass-parameterized dimuon resonance).
+	Process string `json:"process"`
+	// MassGeV is the resonance pole mass.
+	MassGeV float64 `json:"mass_gev"`
+	// Events is the Monte Carlo statistics to generate.
+	Events int `json:"events"`
+	// Seed makes the processing reproducible; recorded with the result.
+	Seed uint64 `json:"seed"`
+	// CrossSectionPb is the model's predicted production cross section in
+	// picobarns, when the requester wants an exclusion verdict; 0 skips
+	// the verdict.
+	CrossSectionPb float64 `json:"cross_section_pb,omitempty"`
+}
+
+// Validate checks the model is processable.
+func (m ModelSpec) Validate() error {
+	if m.Process != "zprime" {
+		return fmt.Errorf("recast: unsupported process %q", m.Process)
+	}
+	if m.MassGeV < 50 || m.MassGeV > 6000 {
+		return fmt.Errorf("recast: mass %v GeV outside generator validity", m.MassGeV)
+	}
+	if m.Events <= 0 || m.Events > 200000 {
+		return fmt.Errorf("recast: event count %d out of range", m.Events)
+	}
+	return nil
+}
+
+// Result is what an approved, processed request returns to the outside
+// world: numbers, never code or events.
+type Result struct {
+	Analysis   string  `json:"analysis"`
+	BackEnd    string  `json:"back_end"`
+	Generated  int     `json:"generated"`
+	Selected   int     `json:"selected"`
+	Acceptance float64 `json:"acceptance"`
+	// CutFlow counts survivors after each selection stage.
+	CutFlow []int `json:"cut_flow"`
+	// UpperLimitEvents and UpperLimitXsecPb are the 95% CL constraints.
+	UpperLimitEvents float64 `json:"upper_limit_events"`
+	UpperLimitXsecPb float64 `json:"upper_limit_xsec_pb"`
+	// PredictedEvents is σ·L·A for the requester's cross section (0 when
+	// no cross section was supplied); Excluded reports whether the
+	// prediction exceeds the 95% CL limit.
+	PredictedEvents float64 `json:"predicted_events,omitempty"`
+	Excluded        bool    `json:"excluded,omitempty"`
+}
+
+// ApplyExclusion fills the exclusion verdict from the model's cross
+// section and the back end's luminosity. Back ends call it after filling
+// acceptance and limits.
+func (r *Result) ApplyExclusion(model ModelSpec, luminosityPb float64) {
+	if model.CrossSectionPb <= 0 || luminosityPb <= 0 {
+		return
+	}
+	r.PredictedEvents = model.CrossSectionPb * luminosityPb * r.Acceptance
+	r.Excluded = r.PredictedEvents > r.UpperLimitEvents
+}
+
+// Request is one reinterpretation request.
+type Request struct {
+	ID        string `json:"id"`
+	Analysis  string `json:"analysis"`
+	Requester string `json:"requester"`
+	// Motivation is the free-form physics case shown to approvers.
+	Motivation string    `json:"motivation,omitempty"`
+	Model      ModelSpec `json:"model"`
+	Status     Status    `json:"status"`
+	// Reason documents a rejection or failure.
+	Reason string  `json:"reason,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// Subscription is an analysis the experiment offers for reinterpretation.
+// Only Name and Description are visible through the API; the record itself
+// stays inside the service ("none of this code base would be exposed to
+// the outside world").
+type Subscription struct {
+	Name        string
+	Description string
+	Record      *leshouches.AnalysisRecord
+}
+
+// Backend runs an approved request against a preserved analysis.
+type Backend interface {
+	// Name labels results with the processing tier.
+	Name() string
+	// Process generates the model and applies the preserved analysis.
+	Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error)
+}
+
+// Errors returned by the service.
+var (
+	ErrNoRequest   = errors.New("recast: no such request")
+	ErrNoAnalysis  = errors.New("recast: analysis not subscribed")
+	ErrNotApproved = errors.New("recast: request not approved")
+	ErrWrongState  = errors.New("recast: request in wrong state")
+)
+
+// Service is the front-end state machine. Safe for concurrent use.
+type Service struct {
+	mu      sync.Mutex
+	backend Backend
+	// LuminosityPb scales limits; exposed on results via the backend.
+	subs     map[string]Subscription
+	requests map[string]*Request
+	nextID   int
+}
+
+// NewService returns a service over the given back end.
+func NewService(backend Backend) *Service {
+	return &Service{
+		backend:  backend,
+		subs:     make(map[string]Subscription),
+		requests: make(map[string]*Request),
+	}
+}
+
+// Subscribe offers an analysis for reinterpretation.
+func (s *Service) Subscribe(sub Subscription) error {
+	if sub.Name == "" || sub.Record == nil {
+		return fmt.Errorf("recast: subscription needs a name and a record")
+	}
+	if err := sub.Record.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.subs[sub.Name]; dup {
+		return fmt.Errorf("recast: analysis %q already subscribed", sub.Name)
+	}
+	s.subs[sub.Name] = sub
+	return nil
+}
+
+// AnalysisInfo is the public view of a subscription.
+type AnalysisInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Analyses returns the public catalogue, sorted by name.
+func (s *Service) Analyses() []AnalysisInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]AnalysisInfo, 0, len(s.subs))
+	for _, sub := range s.subs {
+		out = append(out, AnalysisInfo{Name: sub.Name, Description: sub.Description})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Submit files a new request against a subscribed analysis.
+func (s *Service) Submit(analysis, requester, motivation string, model ModelSpec) (*Request, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if requester == "" {
+		return nil, fmt.Errorf("recast: request needs a requester")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[analysis]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoAnalysis, analysis)
+	}
+	s.nextID++
+	req := &Request{
+		ID:         fmt.Sprintf("req-%06d", s.nextID),
+		Analysis:   analysis,
+		Requester:  requester,
+		Motivation: motivation,
+		Model:      model,
+		Status:     StatusSubmitted,
+	}
+	s.requests[req.ID] = req
+	return cloneRequest(req), nil
+}
+
+// Get returns a request by ID.
+func (s *Service) Get(id string) (*Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req, ok := s.requests[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRequest, id)
+	}
+	return cloneRequest(req), nil
+}
+
+// List returns all requests sorted by ID.
+func (s *Service) List() []*Request {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Request, 0, len(s.requests))
+	for _, r := range s.requests {
+		out = append(out, cloneRequest(r))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Approve moves a submitted request to approved — the experiment's
+// "complete control over which analyses were allowed to become public".
+func (s *Service) Approve(id string) error {
+	return s.transition(id, StatusSubmitted, StatusApproved, "")
+}
+
+// Reject declines a submitted request with a reason.
+func (s *Service) Reject(id, reason string) error {
+	return s.transition(id, StatusSubmitted, StatusRejected, reason)
+}
+
+func (s *Service) transition(id string, from, to Status, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req, ok := s.requests[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRequest, id)
+	}
+	if req.Status != from {
+		return fmt.Errorf("%w: %s is %s", ErrWrongState, id, req.Status)
+	}
+	req.Status = to
+	req.Reason = reason
+	return nil
+}
+
+// Process runs the back end for an approved request and stores the result.
+// Processing is synchronous; the HTTP layer exposes it behind the
+// experiment role, and the Queue type runs it from workers.
+func (s *Service) Process(id string) (*Request, error) {
+	s.mu.Lock()
+	req, ok := s.requests[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoRequest, id)
+	}
+	if req.Status != StatusApproved {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotApproved, id, req.Status)
+	}
+	sub := s.subs[req.Analysis]
+	model := req.Model
+	s.mu.Unlock()
+
+	// The expensive part runs outside the lock.
+	res, err := s.backend.Process(model, sub.Record)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		req.Status = StatusFailed
+		req.Reason = err.Error()
+		return cloneRequest(req), err
+	}
+	req.Status = StatusDone
+	req.Result = res
+	return cloneRequest(req), nil
+}
+
+func cloneRequest(r *Request) *Request {
+	cp := *r
+	if r.Result != nil {
+		rc := *r.Result
+		rc.CutFlow = append([]int(nil), r.Result.CutFlow...)
+		cp.Result = &rc
+	}
+	return &cp
+}
+
+// FullSimBackend is the heavyweight back end: it re-runs the preserved
+// experiment chain — generation, full detector simulation, digitization,
+// reconstruction — before applying the archived analysis. This is the tier
+// whose cost and platform coupling the paper's RECAST risk analysis is
+// about.
+type FullSimBackend struct {
+	Det *detector.Detector
+	// CondDB, Tag, and Run pin the calibration the chain uses.
+	CondDB *conditions.DB
+	Tag    string
+	Run    uint32
+	// LuminosityPb converts event limits to cross sections.
+	LuminosityPb float64
+}
+
+// Name implements Backend.
+func (*FullSimBackend) Name() string { return "fullsim" }
+
+// Process implements Backend.
+func (b *FullSimBackend) Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := generator.DefaultConfig(model.Seed)
+	gen := generator.NewZPrime(cfg, model.MassGeV)
+	full := sim.NewFullSim(b.Det, model.Seed)
+	rec := reco.New(b.Det)
+	snap := b.CondDB.Snapshot(b.Tag, b.Run)
+
+	events := make([]*datamodel.Event, 0, model.Events)
+	for i := 0; i < model.Events; i++ {
+		raw := rawdata.Digitize(b.Run, full.Simulate(gen.Generate()))
+		ev, err := rec.Reconstruct(raw, snap)
+		if err != nil {
+			return nil, fmt.Errorf("recast: fullsim reconstruction: %w", err)
+		}
+		events = append(events, ev.SlimToAOD())
+	}
+	flow, err := record.CutFlow(events)
+	if err != nil {
+		return nil, err
+	}
+	rei, err := leshouches.Reinterpret(record, events, b.LuminosityPb)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Analysis: record.Name, BackEnd: "fullsim",
+		Generated: rei.Generated, Selected: rei.Selected,
+		Acceptance: rei.Acceptance, CutFlow: flow,
+		UpperLimitEvents: rei.UpperLimitEvents,
+		UpperLimitXsecPb: rei.UpperLimitXsecPb,
+	}
+	res.ApplyExclusion(model, b.LuminosityPb)
+	return res, nil
+}
+
+// ScanPoint is one row of a parameter scan.
+type ScanPoint struct {
+	MassGeV float64 `json:"mass_gev"`
+	Result  *Result `json:"result"`
+}
+
+// MassScan walks a subscribed analysis over model masses through the full
+// request lifecycle (submit → approve → process), returning one point per
+// mass — the theorist's parameter-plane scan, with each point individually
+// approved by the experiment as the closed system requires. The scan stops
+// at the first error.
+func MassScan(svc *Service, analysis, requester string, base ModelSpec, masses []float64) ([]ScanPoint, error) {
+	out := make([]ScanPoint, 0, len(masses))
+	for i, m := range masses {
+		model := base
+		model.MassGeV = m
+		// Each point gets an independent stream derived from the base
+		// seed, so neighbouring points do not share statistical wiggles.
+		model.Seed = base.Seed + uint64(i)*0x9e3779b9
+		req, err := svc.Submit(analysis, requester, "parameter scan", model)
+		if err != nil {
+			return out, err
+		}
+		if err := svc.Approve(req.ID); err != nil {
+			return out, err
+		}
+		done, err := svc.Process(req.ID)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ScanPoint{MassGeV: m, Result: done.Result})
+	}
+	return out, nil
+}

@@ -1,0 +1,335 @@
+package reco
+
+import (
+	"math"
+	"testing"
+
+	"daspos/internal/conditions"
+	"daspos/internal/datamodel"
+	"daspos/internal/detector"
+	"daspos/internal/fourvec"
+	"daspos/internal/generator"
+	"daspos/internal/rawdata"
+	"daspos/internal/sim"
+)
+
+// chain wires generator → full sim → digitizer → reconstructor for tests.
+type chain struct {
+	det  *detector.Detector
+	full *sim.FullSim
+	rec  *Reconstructor
+	cond Source
+}
+
+func newChain(t testing.TB, seed uint64) *chain {
+	t.Helper()
+	det := detector.Standard()
+	db := conditions.NewDB()
+	if err := conditions.SeedStandard(db, "t", 1, 10, 10, seed); err != nil {
+		t.Fatal(err)
+	}
+	return &chain{
+		det:  det,
+		full: sim.NewFullSim(det, seed),
+		rec:  New(det),
+		cond: db.Snapshot("t", 1),
+	}
+}
+
+func (c *chain) process(t testing.TB, gen generator.Generator, n int) []*datamodel.Event {
+	t.Helper()
+	var out []*datamodel.Event
+	for i := 0; i < n; i++ {
+		raw := rawdata.Digitize(1, c.full.Simulate(gen.Generate()))
+		ev, err := c.rec.Reconstruct(raw, c.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestReconstructProducesTracks(t *testing.T) {
+	c := newChain(t, 1)
+	g := generator.NewQCDDijet(generator.DefaultConfig(1))
+	events := c.process(t, g, 10)
+	total := 0
+	for _, e := range events {
+		total += len(e.Tracks)
+		if e.Tier != datamodel.TierRECO {
+			t.Fatalf("tier %v", e.Tier)
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d tracks over 10 dijet events", total)
+	}
+}
+
+func TestTrackMomentumResolution(t *testing.T) {
+	// Single clean muons: reconstructed pT must track the true pT.
+	c := newChain(t, 2)
+	g := generator.NewDrellYanZ(generator.DefaultConfig(2))
+	var rel []float64
+	for i := 0; i < 60; i++ {
+		ev := g.Generate()
+		var truePts []float64
+		for _, p := range ev.FinalState() {
+			if abs(p.PDG) == 13 && math.Abs(p.P.Eta()) < 2.0 && p.P.Pt() > 20 {
+				truePts = append(truePts, p.P.Pt())
+			}
+		}
+		raw := rawdata.Digitize(1, c.full.Simulate(ev))
+		re, err := c.rec.Reconstruct(raw, c.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range truePts {
+			best := math.Inf(1)
+			for _, trk := range re.Tracks {
+				if d := math.Abs(trk.P.Pt()-tp) / tp; d < best {
+					best = d
+				}
+			}
+			if !math.IsInf(best, 1) {
+				rel = append(rel, best)
+			}
+		}
+	}
+	if len(rel) < 20 {
+		t.Fatalf("too few matched muon tracks: %d", len(rel))
+	}
+	good := 0
+	for _, d := range rel {
+		if d < 0.15 {
+			good++
+		}
+	}
+	if frac := float64(good) / float64(len(rel)); frac < 0.7 {
+		t.Fatalf("only %.0f%% of muon tracks within 15%% of true pT", 100*frac)
+	}
+}
+
+func TestMuonCandidatesAndZPeak(t *testing.T) {
+	c := newChain(t, 3)
+	g := generator.NewDrellYanZ(generator.DefaultConfig(3))
+	var masses []float64
+	for i := 0; i < 150; i++ {
+		raw := rawdata.Digitize(1, c.full.Simulate(g.Generate()))
+		re, err := c.rec.Reconstruct(raw, c.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mus := re.CandidatesOf(datamodel.ObjMuon)
+		var plus, minus []fourvec.Vec
+		for _, m := range mus {
+			if m.P.Pt() < 15 {
+				continue
+			}
+			if m.Charge > 0 {
+				plus = append(plus, m.P)
+			} else {
+				minus = append(minus, m.P)
+			}
+		}
+		if len(plus) >= 1 && len(minus) >= 1 {
+			masses = append(masses, fourvec.InvariantMass(plus[0], minus[0]))
+		}
+	}
+	if len(masses) < 15 {
+		t.Fatalf("too few dimuon events reconstructed: %d", len(masses))
+	}
+	med := median(masses)
+	if math.Abs(med-91.2) > 8 {
+		t.Fatalf("reconstructed Z peak at %v", med)
+	}
+}
+
+func TestPhotonCandidatesFromHiggs(t *testing.T) {
+	c := newChain(t, 4)
+	g := generator.NewHiggsDiphoton(generator.DefaultConfig(4))
+	found := 0
+	for i := 0; i < 60; i++ {
+		raw := rawdata.Digitize(1, c.full.Simulate(g.Generate()))
+		re, err := c.rec.Reconstruct(raw, c.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phs := re.CandidatesOf(datamodel.ObjPhoton)
+		hard := 0
+		for _, p := range phs {
+			if p.P.Pt() > 20 {
+				hard++
+			}
+		}
+		if hard >= 2 {
+			found++
+		}
+	}
+	if found < 10 {
+		t.Fatalf("diphoton reconstructed in only %d/60 events", found)
+	}
+}
+
+func TestJetsFromDijets(t *testing.T) {
+	c := newChain(t, 5)
+	g := generator.NewQCDDijet(generator.DefaultConfig(5))
+	njets := 0
+	for _, e := range c.process(t, g, 30) {
+		njets += len(e.CandidatesOf(datamodel.ObjJet))
+	}
+	if njets < 20 {
+		t.Fatalf("only %d jets over 30 dijet events", njets)
+	}
+}
+
+func TestVertexFinding(t *testing.T) {
+	c := newChain(t, 6)
+	g := generator.NewMinBias(generator.DefaultConfig(6))
+	withVtx := 0
+	for _, e := range c.process(t, g, 30) {
+		if _, ok := e.PrimaryVertex(); ok {
+			withVtx++
+		}
+	}
+	if withVtx < 15 {
+		t.Fatalf("primary vertex found in only %d/30 min-bias events", withVtx)
+	}
+}
+
+func TestMETInWEvents(t *testing.T) {
+	c := newChain(t, 7)
+	gW := generator.NewWLepNu(generator.DefaultConfig(7))
+	gZ := generator.NewDrellYanZ(generator.DefaultConfig(7))
+	metW := median(metValues(t, c, gW, 60))
+	metZ := median(metValues(t, c, gZ, 60))
+	if metW <= metZ {
+		t.Fatalf("W MET (%v) not above Z MET (%v)", metW, metZ)
+	}
+}
+
+func metValues(t *testing.T, c *chain, g generator.Generator, n int) []float64 {
+	t.Helper()
+	var out []float64
+	for _, e := range c.process(t, g, n) {
+		out = append(out, e.Missing.Pt)
+	}
+	return out
+}
+
+func TestConditionsDependenciesEnumerated(t *testing.T) {
+	c := newChain(t, 8)
+	g := generator.NewMinBias(generator.DefaultConfig(8))
+	c.process(t, g, 1)
+	touched := c.rec.TouchedFolders()
+	want := conditions.StandardFolders()
+	if len(touched) != len(want) {
+		t.Fatalf("touched %v, want all of %v", touched, want)
+	}
+	seen := map[string]bool{}
+	for _, f := range touched {
+		seen[f] = true
+	}
+	for _, f := range want {
+		if !seen[f] {
+			t.Fatalf("folder %s not resolved during reconstruction", f)
+		}
+	}
+}
+
+func TestReconstructFailsWithoutConditions(t *testing.T) {
+	det := detector.Standard()
+	rec := New(det)
+	db := conditions.NewDB() // empty: no calibrations published
+	g := generator.NewMinBias(generator.DefaultConfig(9))
+	fs := sim.NewFullSim(det, 9)
+	raw := rawdata.Digitize(1, fs.Simulate(g.Generate()))
+	if _, err := rec.Reconstruct(raw, db.Snapshot("t", 1)); err == nil {
+		t.Fatal("reconstruction succeeded without calibration constants")
+	}
+}
+
+func TestServiceAndSnapshotAgree(t *testing.T) {
+	det := detector.Standard()
+	db := conditions.NewDB()
+	if err := conditions.SeedStandard(db, "t", 1, 10, 10, 11); err != nil {
+		t.Fatal(err)
+	}
+	g := generator.NewDrellYanZ(generator.DefaultConfig(11))
+	fs := sim.NewFullSim(det, 11)
+	raw := rawdata.Digitize(1, fs.Simulate(g.Generate()))
+	recA := New(det)
+	recB := New(det)
+	a, err := recA.Reconstruct(raw, db.Snapshot("t", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := recB.Reconstruct(raw, db.View("t", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tracks) != len(b.Tracks) || len(a.Candidates) != len(b.Candidates) {
+		t.Fatal("snapshot and service reconstructions differ")
+	}
+	if a.Missing.Pt != b.Missing.Pt {
+		t.Fatal("MET differs between access modes")
+	}
+}
+
+func TestReconstructionDeterministic(t *testing.T) {
+	c := newChain(t, 12)
+	g := generator.NewQCDDijet(generator.DefaultConfig(12))
+	raw := rawdata.Digitize(1, c.full.Simulate(g.Generate()))
+	a, err := c.rec.Reconstruct(raw, c.cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.rec.Reconstruct(raw, c.cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tracks) != len(b.Tracks) {
+		t.Fatal("track finding not deterministic")
+	}
+	for i := range a.Tracks {
+		if a.Tracks[i] != b.Tracks[i] {
+			t.Fatalf("track %d differs between runs", i)
+		}
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func BenchmarkReconstructDijet(b *testing.B) {
+	c := newChain(b, 1)
+	g := generator.NewQCDDijet(generator.DefaultConfig(1))
+	raws := make([]*rawdata.Event, 16)
+	for i := range raws {
+		raws[i] = rawdata.Digitize(1, c.full.Simulate(g.Generate()))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.rec.Reconstruct(raws[i%len(raws)], c.cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package rivet
+
+import (
+	"daspos/internal/fourvec"
+	"daspos/internal/hepmc"
+	"daspos/internal/hist"
+	"daspos/internal/units"
+)
+
+// Built-in preserved analyses. Each mirrors the kind of measurement the
+// paper's Level 2 discussion expects the framework to capture: a Z
+// lineshape, a W transverse-mass measurement, inclusive jet spectra, a
+// diphoton resonance search, and a charged-multiplicity soft-QCD
+// measurement. Registering them at init makes the catalogue available to
+// every consumer (RECAST bridge, benchmarks, examples) without wiring.
+
+func init() {
+	Register("DASPOS_2013_ZMUMU", func() Analysis { return &zMuMu{} })
+	Register("DASPOS_2013_WLNU", func() Analysis { return &wLNu{} })
+	Register("DASPOS_2013_JETS", func() Analysis { return &incJets{} })
+	Register("DASPOS_2013_DIPHOTON", func() Analysis { return &diphoton{} })
+	Register("DASPOS_2013_MINBIAS", func() Analysis { return &minBias{} })
+}
+
+// zMuMu measures the dimuon invariant-mass lineshape around the Z pole:
+// the canonical standard-candle analysis.
+type zMuMu struct {
+	mass, ptZ *hist.H1D
+}
+
+func (*zMuMu) Metadata() Metadata {
+	return Metadata{
+		Name: "DASPOS_2013_ZMUMU", Experiment: "DASPOS-GPD", Year: 2013,
+		InspireID: "1200001",
+		Summary:   "Z -> mumu lineshape: dimuon invariant mass (60-120 GeV) and Z pT",
+	}
+}
+
+func (a *zMuMu) Init(ctx *Context) {
+	a.mass = ctx.BookH1D("m_mumu", 60, 60, 120)
+	a.ptZ = ctx.BookH1D("pt_z", 40, 0, 80)
+}
+
+func (a *zMuMu) Analyze(ctx *Context, ev *hepmc.Event) {
+	pairs := OppositeSignPairs{PDG: units.PDGMuon, MinPt: 10, MaxAbsEta: 2.5}.Apply(ev)
+	if len(pairs) == 0 {
+		return
+	}
+	z := pairs[0].Plus.P.Add(pairs[0].Minus.P)
+	a.mass.FillW(z.M(), ctx.Weight)
+	a.ptZ.FillW(z.Pt(), ctx.Weight)
+}
+
+func (a *zMuMu) Finalize(ctx *Context) {
+	if sw := ctx.SumW(); sw > 0 {
+		a.mass.Scale(1 / sw)
+		a.ptZ.Scale(1 / sw)
+	}
+}
+
+// wLNu measures the lepton-missing transverse mass in W events.
+type wLNu struct {
+	mt, ptLep *hist.H1D
+}
+
+func (*wLNu) Metadata() Metadata {
+	return Metadata{
+		Name: "DASPOS_2013_WLNU", Experiment: "DASPOS-GPD", Year: 2013,
+		InspireID: "1200002",
+		Summary:   "W -> l nu: transverse mass and lepton pT at truth level",
+	}
+}
+
+func (a *wLNu) Init(ctx *Context) {
+	a.mt = ctx.BookH1D("mt", 50, 0, 150)
+	a.ptLep = ctx.BookH1D("pt_lep", 40, 0, 100)
+}
+
+func (a *wLNu) Analyze(ctx *Context, ev *hepmc.Event) {
+	leps := IdentifiedFinalState{
+		PDGs: []int{units.PDGElectron, units.PDGMuon}, MinPt: 20, MaxAbsEta: 2.5,
+	}.Apply(ev)
+	if len(leps) == 0 {
+		return
+	}
+	lead := leps[0]
+	for _, l := range leps[1:] {
+		if l.P.Pt() > lead.P.Pt() {
+			lead = l
+		}
+	}
+	metPt, metPhi := (MissingMomentum{}).Apply(ev)
+	if metPt < 20 {
+		return
+	}
+	miss := fourvec.PtEtaPhiM(metPt, 0, metPhi, 0)
+	a.mt.FillW(fourvec.TransverseMass(lead.P, miss), ctx.Weight)
+	a.ptLep.FillW(lead.P.Pt(), ctx.Weight)
+}
+
+func (a *wLNu) Finalize(ctx *Context) {
+	if sw := ctx.SumW(); sw > 0 {
+		a.mt.Scale(1 / sw)
+		a.ptLep.Scale(1 / sw)
+	}
+}
+
+// incJets measures inclusive jet multiplicity and the leading-jet pT
+// spectrum.
+type incJets struct {
+	njets, ptLead *hist.H1D
+}
+
+func (*incJets) Metadata() Metadata {
+	return Metadata{
+		Name: "DASPOS_2013_JETS", Experiment: "DASPOS-GPD", Year: 2013,
+		InspireID: "1200003",
+		Summary:   "Inclusive cone jets: multiplicity and leading-jet pT",
+	}
+}
+
+func (a *incJets) Init(ctx *Context) {
+	a.njets = ctx.BookH1D("n_jets", 10, 0, 10)
+	a.ptLead = ctx.BookH1D("pt_lead", 48, 20, 500)
+}
+
+func (a *incJets) Analyze(ctx *Context, ev *hepmc.Event) {
+	jets := ConeJets{R: 0.4, MinJetPt: 20, MinParticlePt: 0.2, MaxAbsEta: 3.0}.Apply(ev)
+	a.njets.FillW(float64(len(jets)), ctx.Weight)
+	if len(jets) > 0 {
+		a.ptLead.FillW(jets[0].P.Pt(), ctx.Weight)
+	}
+}
+
+func (a *incJets) Finalize(ctx *Context) {
+	if sw := ctx.SumW(); sw > 0 {
+		a.njets.Scale(1 / sw)
+		a.ptLead.Scale(1 / sw)
+	}
+}
+
+// diphoton measures the diphoton invariant mass: the narrow-resonance
+// search shape (Higgs hunt).
+type diphoton struct {
+	mass *hist.H1D
+}
+
+func (*diphoton) Metadata() Metadata {
+	return Metadata{
+		Name: "DASPOS_2013_DIPHOTON", Experiment: "DASPOS-GPD", Year: 2013,
+		InspireID: "1200004",
+		Summary:   "Diphoton invariant mass (100-160 GeV) for narrow-resonance searches",
+	}
+}
+
+func (a *diphoton) Init(ctx *Context) {
+	a.mass = ctx.BookH1D("m_gg", 60, 100, 160)
+}
+
+func (a *diphoton) Analyze(ctx *Context, ev *hepmc.Event) {
+	gams := IdentifiedFinalState{PDGs: []int{units.PDGPhoton}, MinPt: 15, MaxAbsEta: 2.5}.Apply(ev)
+	if len(gams) < 2 {
+		return
+	}
+	// Two leading photons.
+	lead, sub := gams[0], gams[1]
+	if sub.P.Pt() > lead.P.Pt() {
+		lead, sub = sub, lead
+	}
+	for _, g := range gams[2:] {
+		if g.P.Pt() > lead.P.Pt() {
+			lead, sub = g, lead
+		} else if g.P.Pt() > sub.P.Pt() {
+			sub = g
+		}
+	}
+	a.mass.FillW(fourvec.InvariantMass(lead.P, sub.P), ctx.Weight)
+}
+
+func (a *diphoton) Finalize(ctx *Context) {
+	if sw := ctx.SumW(); sw > 0 {
+		a.mass.Scale(1 / sw)
+	}
+}
+
+// minBias measures charged multiplicity and pT in soft events: the
+// QCD-parameter use case RIVET was built for.
+type minBias struct {
+	nch, pt *hist.H1D
+}
+
+func (*minBias) Metadata() Metadata {
+	return Metadata{
+		Name: "DASPOS_2013_MINBIAS", Experiment: "DASPOS-GPD", Year: 2013,
+		InspireID: "1200005",
+		Summary:   "Charged-particle multiplicity and pT spectrum in minimum-bias events",
+	}
+}
+
+func (a *minBias) Init(ctx *Context) {
+	a.nch = ctx.BookH1D("n_ch", 60, 0, 60)
+	a.pt = ctx.BookH1D("pt_ch", 50, 0, 5)
+}
+
+func (a *minBias) Analyze(ctx *Context, ev *hepmc.Event) {
+	charged := ChargedFinalState{MinPt: 0.1, MaxAbsEta: 2.5}.Apply(ev)
+	a.nch.FillW(float64(len(charged)), ctx.Weight)
+	for _, p := range charged {
+		a.pt.FillW(p.P.Pt(), ctx.Weight)
+	}
+}
+
+func (a *minBias) Finalize(ctx *Context) {
+	if sw := ctx.SumW(); sw > 0 {
+		a.nch.Scale(1 / sw)
+		a.pt.Scale(1 / sw)
+	}
+}

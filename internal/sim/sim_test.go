@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"daspos/internal/detector"
+	"daspos/internal/fourvec"
+	"daspos/internal/generator"
+	"daspos/internal/hepmc"
+	"daspos/internal/units"
+)
+
+func TestFullSimTracksLeaveHits(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 1)
+	g := generator.NewDrellYanZ(generator.DefaultConfig(1))
+	for i := 0; i < 20; i++ {
+		ev := g.Generate()
+		se := fs.Simulate(ev)
+		if len(se.TrackerHits) == 0 {
+			t.Fatalf("event %d: no tracker hits", i)
+		}
+		if len(se.Deposits) == 0 {
+			t.Fatalf("event %d: no calo deposits", i)
+		}
+		if se.Number != ev.Number || se.ProcessID != ev.ProcessID {
+			t.Fatal("event identity lost")
+		}
+	}
+}
+
+func TestFullSimMuonsReachMuonSystem(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 2)
+	g := generator.NewDrellYanZ(generator.DefaultConfig(2))
+	muonHits := 0
+	for i := 0; i < 50; i++ {
+		se := fs.Simulate(g.Generate())
+		muonHits += len(se.MuonHits)
+	}
+	// Half the Z decays are to muons; the central ones must hit the
+	// chambers, so the total cannot be tiny.
+	if muonHits < 30 {
+		t.Fatalf("muon hits over 50 Z events: %d", muonHits)
+	}
+}
+
+func TestFullSimNeutrinosInvisible(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 3)
+	// Hand-build an event with only a neutrino.
+	e := hepmc.NewEvent(0, 0)
+	pv := e.AddVertex(0, 0, 0, 0)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, 6500, 6500), 0, pv)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, -6500, 6500), 0, pv)
+	e.AddParticle(units.PDGNuMu, hepmc.StatusFinal, fourvec.PtEtaPhiM(50, 0.5, 1.0, 0), pv, 0)
+	se := fs.Simulate(e)
+	for _, h := range se.TrackerHits {
+		if h.TrueBarcode != 0 {
+			t.Fatal("neutrino left a tracker hit")
+		}
+	}
+	for _, d := range se.Deposits {
+		if d.Energy > 5 {
+			t.Fatalf("neutrino deposited %v GeV", d.Energy)
+		}
+	}
+}
+
+func TestFullSimDisplacedProduction(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 4)
+	// A pion produced at r=300mm (outside pixels and strip1) must have no
+	// hits on layers inside its production radius.
+	e := hepmc.NewEvent(0, 0)
+	pv := e.AddVertex(0, 0, 0, 0)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, 6500, 6500), 0, pv)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, -6500, 6500), 0, pv)
+	dv := e.AddVertex(300, 0, 10, 1)
+	e.AddParticle(units.PDGKZeroShort, hepmc.StatusDecayed, fourvec.PtEtaPhiM(5, 0.1, 0, 0.497), pv, dv)
+	e.AddParticle(units.PDGPiPlus, hepmc.StatusFinal, fourvec.PtEtaPhiM(3, 0.1, 0.1, 0.1396), dv, 0)
+	e.AddParticle(-units.PDGPiPlus, hepmc.StatusFinal, fourvec.PtEtaPhiM(2, 0.1, -0.1, 0.1396), dv, 0)
+	se := fs.Simulate(e)
+	for _, h := range se.TrackerHits {
+		if h.TrueBarcode != 0 && h.R < 300 {
+			t.Fatalf("hit at r=%v inside production radius", h.R)
+		}
+	}
+	// But the pions must still hit the outer strip layers.
+	outer := 0
+	for _, h := range se.TrackerHits {
+		if h.TrueBarcode != 0 {
+			outer++
+		}
+	}
+	if outer == 0 {
+		t.Fatal("displaced pions left no hits at all")
+	}
+}
+
+func TestHelixBendDirection(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 5)
+	p := fourvec.PtEtaPhiM(10, 0, 0, 0.14)
+	phiPlus, _, ok1 := fs.helixAt(p, +1, 0, 0, 0, 500)
+	phiMinus, _, ok2 := fs.helixAt(p, -1, 0, 0, 0, 500)
+	if !ok1 || !ok2 {
+		t.Fatal("10 GeV track did not reach 500mm")
+	}
+	if !(phiPlus < 0 && phiMinus > 0) {
+		t.Fatalf("bend directions: q+ %v, q- %v", phiPlus, phiMinus)
+	}
+	if math.Abs(phiPlus+phiMinus) > 1e-12 {
+		t.Fatalf("bends not symmetric: %v vs %v", phiPlus, phiMinus)
+	}
+}
+
+func TestHelixLowPtLooper(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 6)
+	// pT = 0.2 GeV: rho = 0.2/(0.3*3.8)*1000 ≈ 175mm, max reach 2ρ=350mm.
+	p := fourvec.PtEtaPhiM(0.2, 0, 0, 0.14)
+	if _, _, ok := fs.helixAt(p, 1, 0, 0, 0, 1290); ok {
+		t.Fatal("looper reported reaching the ECal")
+	}
+	if _, _, ok := fs.helixAt(p, 1, 0, 0, 0, 102); !ok {
+		t.Fatal("0.2 GeV track failed to reach pix3")
+	}
+}
+
+func TestHelixHighPtNearlyStraight(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 7)
+	p := fourvec.PtEtaPhiM(500, 0.3, 1.0, 0)
+	phi, z, ok := fs.helixAt(p, 1, 0, 0, 0, 1290)
+	if !ok {
+		t.Fatal("500 GeV track did not reach ECal")
+	}
+	if math.Abs(phi-1.0) > 0.01 {
+		t.Fatalf("500 GeV track bent too much: %v", phi)
+	}
+	wantZ := 1290 * math.Sinh(0.3)
+	if math.Abs(z-wantZ)/wantZ > 0.02 {
+		t.Fatalf("z at ECal %v want ~%v", z, wantZ)
+	}
+}
+
+func TestNoiseHitsPresent(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 8)
+	e := hepmc.NewEvent(0, 0)
+	pv := e.AddVertex(0, 0, 0, 0)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, 6500, 6500), 0, pv)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, -6500, 6500), 0, pv)
+	// Empty detector: everything recorded is noise.
+	noise := 0
+	for i := 0; i < 20; i++ {
+		se := fs.Simulate(e)
+		noise += len(se.TrackerHits) + len(se.Deposits) + len(se.MuonHits)
+	}
+	if noise == 0 {
+		t.Fatal("no noise generated across 20 empty events")
+	}
+	se := fs.Simulate(e)
+	for _, h := range se.TrackerHits {
+		if h.TrueBarcode != 0 {
+			t.Fatal("noise hit carries a truth link")
+		}
+	}
+}
+
+func TestCaloEnergyRoughlyConserved(t *testing.T) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 9)
+	g := generator.NewHiggsDiphoton(generator.DefaultConfig(9))
+	var sumTrue, sumDep float64
+	for i := 0; i < 100; i++ {
+		ev := g.Generate()
+		var central float64
+		for _, p := range ev.FinalState() {
+			if !units.IsNeutrino(p.PDG) && math.Abs(p.P.Eta()) < 1.2 {
+				central += p.P.E
+			}
+		}
+		se := fs.Simulate(ev)
+		var dep float64
+		for _, d := range se.Deposits {
+			dep += d.Energy
+		}
+		sumTrue += central
+		sumDep += dep
+	}
+	// Deposits include forward particles and noise, and lose loopers; the
+	// totals must agree to within a factor ~2.
+	ratio := sumDep / sumTrue
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Fatalf("calo response ratio %v", ratio)
+	}
+}
+
+func TestFastSimEfficiencyAndSmearing(t *testing.T) {
+	fsim := NewFastSim(10)
+	g := generator.NewDrellYanZ(generator.DefaultConfig(10))
+	kept, total := 0, 0
+	var relShift []float64
+	for i := 0; i < 300; i++ {
+		ev := g.Generate()
+		objs := fsim.Simulate(ev)
+		byBarcode := map[int]FastObject{}
+		for _, o := range objs {
+			byBarcode[o.TrueBarcode] = o
+		}
+		for _, p := range ev.FinalState() {
+			if units.IsNeutrino(p.PDG) || math.Abs(p.P.Eta()) > 2.5 {
+				continue
+			}
+			total++
+			if o, ok := byBarcode[p.Barcode]; ok {
+				kept++
+				relShift = append(relShift, (o.P.Pt()-p.P.Pt())/p.P.Pt())
+			}
+		}
+	}
+	eff := float64(kept) / float64(total)
+	if eff < 0.5 || eff > 0.99 {
+		t.Fatalf("fastsim efficiency %v implausible", eff)
+	}
+	// The smearing must be unbiased at the few-percent level.
+	mean := 0.0
+	for _, r := range relShift {
+		mean += r
+	}
+	mean /= float64(len(relShift))
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("smearing bias %v", mean)
+	}
+}
+
+func TestFastSimAcceptanceCut(t *testing.T) {
+	fsim := NewFastSim(11)
+	e := hepmc.NewEvent(0, 0)
+	pv := e.AddVertex(0, 0, 0, 0)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, 6500, 6500), 0, pv)
+	e.AddParticle(units.PDGProton, hepmc.StatusBeam, fourvec.PxPyPzE(0, 0, -6500, 6500), 0, pv)
+	e.AddParticle(units.PDGMuon, hepmc.StatusFinal, fourvec.PtEtaPhiM(50, 4.0, 0, 0.105), pv, 0)
+	if objs := fsim.Simulate(e); len(objs) != 0 {
+		t.Fatalf("forward muon survived acceptance: %d objects", len(objs))
+	}
+}
+
+func TestFastSimMissingPt(t *testing.T) {
+	objs := []FastObject{
+		{PDG: units.PDGMuon, P: fourvec.PtEtaPhiM(40, 0, 0, 0.105)},
+	}
+	pt, phi := MissingPt(objs)
+	if math.Abs(pt-40) > 1e-9 {
+		t.Fatalf("missing pt %v", pt)
+	}
+	if math.Abs(math.Abs(phi)-math.Pi) > 1e-9 {
+		t.Fatalf("missing phi %v", phi)
+	}
+}
+
+func TestFullVsFastCostOrdering(t *testing.T) {
+	// The architectural claim behind experiment R1: full simulation
+	// produces far more output objects (hits) than fast simulation for
+	// the same events.
+	det := detector.Standard()
+	full := NewFullSim(det, 12)
+	fast := NewFastSim(12)
+	g := generator.NewQCDDijet(generator.DefaultConfig(12))
+	nFull, nFast := 0, 0
+	for i := 0; i < 20; i++ {
+		ev := g.Generate()
+		se := full.Simulate(ev)
+		nFull += len(se.TrackerHits) + len(se.Deposits) + len(se.MuonHits)
+		nFast += len(fast.Simulate(ev))
+	}
+	if nFull < 5*nFast {
+		t.Fatalf("full sim output (%d) not ≫ fast sim output (%d)", nFull, nFast)
+	}
+}
+
+func BenchmarkFullSimDijet(b *testing.B) {
+	det := detector.Standard()
+	fs := NewFullSim(det, 1)
+	g := generator.NewQCDDijet(generator.DefaultConfig(1))
+	events := generator.GenerateN(g, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fs.Simulate(events[i%len(events)])
+	}
+}
+
+func BenchmarkFastSimDijet(b *testing.B) {
+	fs := NewFastSim(1)
+	g := generator.NewQCDDijet(generator.DefaultConfig(1))
+	events := generator.GenerateN(g, 64)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fs.Simulate(events[i%len(events)])
+	}
+}

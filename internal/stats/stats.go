@@ -1,0 +1,412 @@
+// Package stats implements the statistical machinery the preserved-analysis
+// frameworks need: χ² and Kolmogorov–Smirnov compatibility tests for
+// validating re-run analyses against archived reference data, Poisson
+// counting limits (CLs-style) for the RECAST and Les Houches
+// reinterpretation use cases, and basic descriptive statistics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrMismatch is returned when two samples that must be compared bin-by-bin
+// have different lengths.
+var ErrMismatch = errors.New("stats: length mismatch")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or 0 for fewer than two
+// points.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// WeightedMean returns the inverse-variance weighted mean of values with the
+// given (absolute) uncertainties and its combined uncertainty. Entries with
+// non-positive uncertainty are ignored. It returns (0, 0) if nothing usable
+// remains.
+func WeightedMean(values, sigmas []float64) (mean, sigma float64) {
+	if len(values) != len(sigmas) {
+		return 0, 0
+	}
+	var sw, swx float64
+	for i, v := range values {
+		s := sigmas[i]
+		if s <= 0 {
+			continue
+		}
+		w := 1 / (s * s)
+		sw += w
+		swx += w * v
+	}
+	if sw == 0 {
+		return 0, 0
+	}
+	return swx / sw, 1 / math.Sqrt(sw)
+}
+
+// Chi2Result carries the outcome of a χ² compatibility test.
+type Chi2Result struct {
+	Chi2 float64
+	NDF  int
+	// PValue is the probability of a χ² at least this large under the
+	// null hypothesis that the two inputs agree.
+	PValue float64
+}
+
+// Reduced returns χ²/ndf, or +Inf for zero degrees of freedom.
+func (r Chi2Result) Reduced() float64 {
+	if r.NDF == 0 {
+		return math.Inf(1)
+	}
+	return r.Chi2 / float64(r.NDF)
+}
+
+// Compatible reports whether the p-value exceeds the significance level
+// alpha (e.g. 0.01): the standard "re-run reproduces the archived result"
+// criterion used by the validation harnesses.
+func (r Chi2Result) Compatible(alpha float64) bool { return r.PValue >= alpha }
+
+// Chi2Counts compares two histograms of event counts bin-by-bin, using
+// Poisson variances (n1+n2 per bin). Bins empty in both inputs are skipped.
+func Chi2Counts(n1, n2 []float64) (Chi2Result, error) {
+	if len(n1) != len(n2) {
+		return Chi2Result{}, ErrMismatch
+	}
+	var chi2 float64
+	ndf := 0
+	for i := range n1 {
+		v := n1[i] + n2[i]
+		if v <= 0 {
+			continue
+		}
+		d := n1[i] - n2[i]
+		chi2 += d * d / v
+		ndf++
+	}
+	return Chi2Result{Chi2: chi2, NDF: ndf, PValue: ChiSquaredSurvival(chi2, ndf)}, nil
+}
+
+// Chi2WithErrors compares two measurements with explicit per-bin
+// uncertainties. Bins where the combined uncertainty vanishes are skipped.
+func Chi2WithErrors(y1, e1, y2, e2 []float64) (Chi2Result, error) {
+	if len(y1) != len(e1) || len(y1) != len(y2) || len(y1) != len(e2) {
+		return Chi2Result{}, ErrMismatch
+	}
+	var chi2 float64
+	ndf := 0
+	for i := range y1 {
+		v := e1[i]*e1[i] + e2[i]*e2[i]
+		if v <= 0 {
+			continue
+		}
+		d := y1[i] - y2[i]
+		chi2 += d * d / v
+		ndf++
+	}
+	return Chi2Result{Chi2: chi2, NDF: ndf, PValue: ChiSquaredSurvival(chi2, ndf)}, nil
+}
+
+// ChiSquaredSurvival returns P(X >= chi2) for a χ² distribution with ndf
+// degrees of freedom: the regularized upper incomplete gamma Q(ndf/2,
+// chi2/2). ndf <= 0 returns 1.
+func ChiSquaredSurvival(chi2 float64, ndf int) float64 {
+	if ndf <= 0 || chi2 <= 0 {
+		return 1
+	}
+	return reguGammaQ(float64(ndf)/2, chi2/2)
+}
+
+// reguGammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) via the series (x < a+1) or continued fraction (x >= a+1),
+// following Numerical Recipes.
+func reguGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinued(a, x)
+	}
+}
+
+func gammaPSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinued(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// KSResult carries the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the maximum distance between the two empirical CDFs.
+	D float64
+	// PValue is the asymptotic probability of a distance at least D under
+	// the hypothesis that both samples draw from the same distribution.
+	PValue float64
+}
+
+// KolmogorovSmirnov runs the two-sample KS test. The inputs need not be
+// sorted and may have different lengths; empty inputs yield D=0, p=1.
+func KolmogorovSmirnov(a, b []float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{D: 0, PValue: 1}
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		// Advance through tie blocks on both sides together so equal
+		// values never create a spurious CDF gap.
+		va, vb := as[i], bs[j]
+		if va <= vb {
+			for i < len(as) && as[i] == va {
+				i++
+			}
+		}
+		if vb <= va {
+			for j < len(bs) && bs[j] == vb {
+				j++
+			}
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: ksProb(lambda)}
+}
+
+// ksProb is the Kolmogorov distribution survival function
+// Q(λ) = 2 Σ (-1)^{k-1} exp(-2 k² λ²).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// PoissonCI returns the Garwood (exact frequentist) central confidence
+// interval for a Poisson mean given n observed events, at the given
+// confidence level (e.g. 0.68 or 0.95).
+func PoissonCI(n int, cl float64) (lo, hi float64) {
+	if n < 0 {
+		n = 0
+	}
+	alpha := 1 - cl
+	if n == 0 {
+		lo = 0
+	} else {
+		lo = 0.5 * chi2Quantile(alpha/2, 2*n)
+	}
+	hi = 0.5 * chi2Quantile(1-alpha/2, 2*(n+1))
+	return lo, hi
+}
+
+// chi2Quantile inverts the χ² CDF by bisection. Robust rather than fast;
+// limit setting is not on the hot path.
+func chi2Quantile(p float64, ndf int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, float64(ndf)+10
+	for 1-ChiSquaredSurvival(hi, ndf) < p {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if 1-ChiSquaredSurvival(mid, ndf) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// UpperLimit computes a CLs-style upper limit on the signal yield s, given
+// nObs observed events and an expected background b, at the given confidence
+// level. It inverts the CLs ratio CL_{s+b}/CL_b by bisection over s. This is
+// the limit-setting capability the paper notes RIVET lacks and RECAST-class
+// preservation requires.
+func UpperLimit(nObs int, background float64, cl float64) float64 {
+	if nObs < 0 {
+		nObs = 0
+	}
+	if background < 0 {
+		background = 0
+	}
+	alpha := 1 - cl
+	clb := poissonCDF(nObs, background)
+	if clb <= 0 {
+		clb = 1e-12
+	}
+	cls := func(s float64) float64 {
+		return poissonCDF(nObs, s+background) / clb
+	}
+	lo, hi := 0.0, float64(nObs)+10*math.Sqrt(background+1)+10
+	for cls(hi) > alpha {
+		hi *= 2
+		if hi > 1e9 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if cls(mid) > alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ExpectedLimits returns the median and ±1σ band of the CLs upper limit
+// under the background-only hypothesis: the "expected limit" a search
+// quotes next to the observed one. Pseudo-experiments draw nObs from a
+// Poisson of mean b through the supplied deviate function (inject a
+// deterministic RNG for reproducibility).
+func ExpectedLimits(background float64, cl float64, trials int, poissonDeviate func(mean float64) int) (lo, median, hi float64) {
+	if trials < 1 {
+		trials = 1
+	}
+	limits := make([]float64, trials)
+	for i := range limits {
+		limits[i] = UpperLimit(poissonDeviate(background), background, cl)
+	}
+	sort.Float64s(limits)
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(trials-1))
+		return limits[idx]
+	}
+	return quantile(0.16), quantile(0.5), quantile(0.84)
+}
+
+// poissonCDF returns P(X <= n) for mean mu, computed in log space for
+// stability at large mu.
+func poissonCDF(n int, mu float64) float64 {
+	if mu <= 0 {
+		return 1
+	}
+	sum := 0.0
+	logTerm := -mu // log of P(0)
+	for k := 0; k <= n; k++ {
+		if k > 0 {
+			logTerm += math.Log(mu / float64(k))
+		}
+		sum += math.Exp(logTerm)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Significance returns the approximate Gaussian significance of observing
+// nObs events over an expected background b with uncertainty sigmaB, using
+// the simple s/sqrt(b + sigmaB²) estimator on the excess.
+func Significance(nObs int, b, sigmaB float64) float64 {
+	den := math.Sqrt(b + sigmaB*sigmaB)
+	if den == 0 {
+		if float64(nObs) > 0 {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	return (float64(nObs) - b) / den
+}

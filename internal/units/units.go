@@ -1,0 +1,185 @@
+// Package units defines the unit conventions and the PDG particle table
+// shared by the DASPOS substrate.
+//
+// Conventions: energies and momenta in GeV, masses in GeV/c², lengths in
+// millimetres, times in nanoseconds, magnetic fields in tesla. Particle
+// species are identified by their PDG Monte Carlo numbering-scheme codes,
+// the same identifiers the HepMC-style event record preserves on disk.
+package units
+
+import "fmt"
+
+// Physical constants.
+const (
+	// SpeedOfLight is c in mm/ns.
+	SpeedOfLight = 299.792458
+	// GeV is the base energy unit; MeV and TeV are provided for clarity
+	// when constructing thresholds.
+	GeV = 1.0
+	MeV = 1e-3 * GeV
+	TeV = 1e3 * GeV
+	// Millimetre and Nanosecond are the base length and time units.
+	Millimetre = 1.0
+	Nanosecond = 1.0
+	Micrometre = 1e-3 * Millimetre
+	Metre      = 1e3 * Millimetre
+	Picosecond = 1e-3 * Nanosecond
+)
+
+// PDG codes for the particle species the toy generators and the detector
+// simulation know about. Antiparticles carry the negated code.
+const (
+	PDGDown       = 1
+	PDGUp         = 2
+	PDGStrange    = 3
+	PDGCharm      = 4
+	PDGBottom     = 5
+	PDGTop        = 6
+	PDGElectron   = 11
+	PDGNuE        = 12
+	PDGMuon       = 13
+	PDGNuMu       = 14
+	PDGTau        = 15
+	PDGNuTau      = 16
+	PDGGluon      = 21
+	PDGPhoton     = 22
+	PDGZ          = 23
+	PDGW          = 24
+	PDGHiggs      = 25
+	PDGZPrime     = 32
+	PDGPiZero     = 111
+	PDGPiPlus     = 211
+	PDGKZeroShort = 310
+	PDGKZeroLong  = 130
+	PDGKPlus      = 321
+	PDGDZero      = 421
+	PDGDPlus      = 411
+	PDGProton     = 2212
+	PDGNeutron    = 2112
+	PDGLambda     = 3122
+)
+
+// Particle describes one species in the PDG table.
+type Particle struct {
+	PDG      int
+	Name     string
+	Mass     float64 // GeV
+	Charge   float64 // units of e
+	Lifetime float64 // mean proper lifetime in ns; 0 = stable or prompt
+	// Stable marks species the detector simulation treats as reaching the
+	// detector (electrons, muons, photons, charged hadrons, neutrons,
+	// K-long, and neutrinos, which escape unseen).
+	Stable bool
+}
+
+var table = map[int]Particle{
+	PDGDown:       {PDGDown, "d", 0.0047, -1.0 / 3, 0, false},
+	PDGUp:         {PDGUp, "u", 0.0022, 2.0 / 3, 0, false},
+	PDGStrange:    {PDGStrange, "s", 0.095, -1.0 / 3, 0, false},
+	PDGCharm:      {PDGCharm, "c", 1.27, 2.0 / 3, 0, false},
+	PDGBottom:     {PDGBottom, "b", 4.18, -1.0 / 3, 0, false},
+	PDGTop:        {PDGTop, "t", 172.8, 2.0 / 3, 0, false},
+	PDGElectron:   {PDGElectron, "e-", 0.000511, -1, 0, true},
+	PDGNuE:        {PDGNuE, "nu_e", 0, 0, 0, true},
+	PDGMuon:       {PDGMuon, "mu-", 0.10566, -1, 2197.0, true},
+	PDGNuMu:       {PDGNuMu, "nu_mu", 0, 0, 0, true},
+	PDGTau:        {PDGTau, "tau-", 1.77686, -1, 2.903e-4, false},
+	PDGNuTau:      {PDGNuTau, "nu_tau", 0, 0, 0, true},
+	PDGGluon:      {PDGGluon, "g", 0, 0, 0, false},
+	PDGPhoton:     {PDGPhoton, "gamma", 0, 0, 0, true},
+	PDGZ:          {PDGZ, "Z0", 91.1876, 0, 0, false},
+	PDGW:          {PDGW, "W+", 80.377, 1, 0, false},
+	PDGHiggs:      {PDGHiggs, "H0", 125.25, 0, 0, false},
+	PDGZPrime:     {PDGZPrime, "Z'", 0, 0, 0, false}, // mass set per model
+	PDGPiZero:     {PDGPiZero, "pi0", 0.13498, 0, 0, false},
+	PDGPiPlus:     {PDGPiPlus, "pi+", 0.13957, 1, 26.03, true},
+	PDGKZeroShort: {PDGKZeroShort, "K0_S", 0.49761, 0, 0.08954, false},
+	PDGKZeroLong:  {PDGKZeroLong, "K0_L", 0.49761, 0, 51.16, true},
+	PDGKPlus:      {PDGKPlus, "K+", 0.49368, 1, 12.38, true},
+	PDGDZero:      {PDGDZero, "D0", 1.86484, 0, 4.101e-4, false},
+	PDGDPlus:      {PDGDPlus, "D+", 1.86966, 1, 1.033e-3, false},
+	PDGProton:     {PDGProton, "p", 0.93827, 1, 0, true},
+	PDGNeutron:    {PDGNeutron, "n", 0.93957, 0, 879.4e9, true},
+	PDGLambda:     {PDGLambda, "Lambda0", 1.11568, 0, 0.2632, false},
+}
+
+// Lookup returns the particle record for a PDG code. Antiparticle codes
+// (negative) resolve to the particle record with charge negated and the
+// name suffixed. The second return reports whether the species is known.
+func Lookup(pdg int) (Particle, bool) {
+	code := pdg
+	anti := false
+	if code < 0 {
+		code = -code
+		anti = true
+	}
+	p, ok := table[code]
+	if !ok {
+		return Particle{PDG: pdg, Name: fmt.Sprintf("pdg(%d)", pdg)}, false
+	}
+	if anti {
+		p.PDG = pdg
+		p.Charge = -p.Charge
+		p.Name = antiName(p.Name)
+	}
+	return p, true
+}
+
+func antiName(name string) string {
+	switch {
+	case len(name) > 0 && name[len(name)-1] == '-':
+		return name[:len(name)-1] + "+"
+	case len(name) > 0 && name[len(name)-1] == '+':
+		return name[:len(name)-1] + "-"
+	default:
+		return name + "~"
+	}
+}
+
+// Mass returns the PDG mass for a code, or 0 for unknown species.
+func Mass(pdg int) float64 {
+	p, _ := Lookup(pdg)
+	return p.Mass
+}
+
+// Charge returns the electric charge for a code in units of e.
+func Charge(pdg int) float64 {
+	p, _ := Lookup(pdg)
+	return p.Charge
+}
+
+// Name returns the human-readable species name for a code.
+func Name(pdg int) string {
+	p, _ := Lookup(pdg)
+	return p.Name
+}
+
+// IsStable reports whether the species reaches the detector rather than
+// decaying promptly in simulation terms.
+func IsStable(pdg int) bool {
+	p, ok := Lookup(pdg)
+	return ok && p.Stable
+}
+
+// IsNeutrino reports whether the code is a neutrino species (invisible to
+// the detector; contributes to missing transverse momentum).
+func IsNeutrino(pdg int) bool {
+	switch pdg {
+	case PDGNuE, -PDGNuE, PDGNuMu, -PDGNuMu, PDGNuTau, -PDGNuTau:
+		return true
+	}
+	return false
+}
+
+// IsCharged reports whether the species carries electric charge.
+func IsCharged(pdg int) bool { return Charge(pdg) != 0 }
+
+// Known returns the PDG codes of all species in the table, for enumeration
+// in tests and format documentation.
+func Known() []int {
+	out := make([]int, 0, len(table))
+	for code := range table {
+		out = append(out, code)
+	}
+	return out
+}

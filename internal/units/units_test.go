@@ -1,0 +1,141 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupKnown(t *testing.T) {
+	p, ok := Lookup(PDGMuon)
+	if !ok {
+		t.Fatal("muon not found")
+	}
+	if p.Name != "mu-" || p.Charge != -1 {
+		t.Fatalf("muon record: %+v", p)
+	}
+}
+
+func TestLookupAntiparticle(t *testing.T) {
+	p, ok := Lookup(-PDGMuon)
+	if !ok {
+		t.Fatal("anti-muon not found")
+	}
+	if p.Charge != 1 {
+		t.Fatalf("anti-muon charge: %v", p.Charge)
+	}
+	if p.Name != "mu+" {
+		t.Fatalf("anti-muon name: %v", p.Name)
+	}
+	if p.PDG != -PDGMuon {
+		t.Fatalf("anti-muon pdg: %v", p.PDG)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	p, ok := Lookup(999999)
+	if ok {
+		t.Fatal("unknown code reported as known")
+	}
+	if p.Name == "" {
+		t.Fatal("unknown code must still get a placeholder name")
+	}
+}
+
+func TestAntiNameConventions(t *testing.T) {
+	cases := map[int]string{
+		-PDGElectron: "e+",
+		-PDGPiPlus:   "pi-",
+		-PDGProton:   "p~",
+		-PDGW:        "W-",
+	}
+	for code, want := range cases {
+		if got := Name(code); got != want {
+			t.Errorf("Name(%d)=%q want %q", code, got, want)
+		}
+	}
+}
+
+func TestChargeConjugationIsOdd(t *testing.T) {
+	if err := quick.Check(func(idx uint8) bool {
+		codes := Known()
+		code := codes[int(idx)%len(codes)]
+		return Charge(code) == -Charge(-code)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMassIsChargeConjugationEven(t *testing.T) {
+	for _, code := range Known() {
+		if Mass(code) != Mass(-code) {
+			t.Errorf("mass of %d differs from antiparticle", code)
+		}
+	}
+}
+
+func TestNeutrinosInvisibleAndNeutral(t *testing.T) {
+	for _, code := range []int{PDGNuE, PDGNuMu, PDGNuTau, -PDGNuE, -PDGNuMu, -PDGNuTau} {
+		if !IsNeutrino(code) {
+			t.Errorf("%d not flagged as neutrino", code)
+		}
+		if IsCharged(code) {
+			t.Errorf("neutrino %d flagged as charged", code)
+		}
+	}
+	if IsNeutrino(PDGMuon) {
+		t.Error("muon flagged as neutrino")
+	}
+}
+
+func TestStability(t *testing.T) {
+	stable := []int{PDGElectron, PDGMuon, PDGPhoton, PDGPiPlus, PDGKPlus, PDGProton, PDGKZeroLong}
+	for _, c := range stable {
+		if !IsStable(c) {
+			t.Errorf("%s should be detector-stable", Name(c))
+		}
+	}
+	unstable := []int{PDGZ, PDGW, PDGHiggs, PDGDZero, PDGKZeroShort, PDGLambda, PDGTau, PDGPiZero}
+	for _, c := range unstable {
+		if IsStable(c) {
+			t.Errorf("%s should not be detector-stable", Name(c))
+		}
+	}
+}
+
+func TestPhysicalMassOrdering(t *testing.T) {
+	// Sanity anchors: the table must encode real PDG ordering, since the
+	// master-class exercises reconstruct these resonances.
+	if !(Mass(PDGZ) > Mass(PDGW)) {
+		t.Error("mZ must exceed mW")
+	}
+	if !(Mass(PDGHiggs) > Mass(PDGZ)) {
+		t.Error("mH must exceed mZ")
+	}
+	if !(Mass(PDGDZero) > Mass(PDGKPlus)) {
+		t.Error("mD0 must exceed mK+")
+	}
+	if Mass(PDGPhoton) != 0 || Mass(PDGGluon) != 0 {
+		t.Error("gauge bosons photon/gluon must be massless")
+	}
+}
+
+func TestKnownCoversTable(t *testing.T) {
+	codes := Known()
+	if len(codes) < 20 {
+		t.Fatalf("particle table suspiciously small: %d", len(codes))
+	}
+	for _, c := range codes {
+		if _, ok := Lookup(c); !ok {
+			t.Errorf("Known() returned unknown code %d", c)
+		}
+	}
+}
+
+func TestSpeedOfLight(t *testing.T) {
+	// c·τ for the K0_S should be ~26.8 mm, a number the V0-finder master
+	// class depends on.
+	ctau := SpeedOfLight * 0.08954
+	if ctau < 26 || ctau > 27.5 {
+		t.Fatalf("K0_S ctau = %v mm, expected ~26.8", ctau)
+	}
+}

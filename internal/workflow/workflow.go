@@ -1,0 +1,322 @@
+// Package workflow implements the processing-workflow engine: the machinery
+// that chains the paper's canonical steps (Raw→Reconstruction,
+// Reconstruction→AOD, skimming/slimming, final analysis) while capturing
+// everything preservation needs — the configuration of every step, the
+// software versions that ran, the external resources each step touched,
+// and a complete provenance record for every artifact produced.
+//
+// A Workflow is data plus code: the Description (steps, configs, versions,
+// input/output wiring) is a serializable preservation artifact, while each
+// step's Run function does the work. Executing a preserved description
+// against re-registered step implementations reproduces the original
+// artifacts — and the provenance store proves it, because record IDs are
+// content addresses over configs and digests.
+package workflow
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"daspos/internal/provenance"
+)
+
+// Artifact is a named, typed blob flowing between steps.
+type Artifact struct {
+	Name string
+	// Tier labels the data tier ("RAW", "AOD", ...) for provenance.
+	Tier string
+	// Events is the artifact's event count, when meaningful.
+	Events int
+	Data   []byte
+}
+
+// Digest returns the artifact's SHA-256 content address.
+func (a *Artifact) Digest() string {
+	sum := sha256.Sum256(a.Data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Context is a step's window onto the run: declared inputs, produced
+// outputs, and the external-dependency ledger.
+type Context struct {
+	step     *Step
+	inputs   map[string]*Artifact
+	outputs  map[string]*Artifact
+	external []string
+}
+
+// Input returns a declared input artifact.
+func (c *Context) Input(name string) (*Artifact, error) {
+	if !contains(c.step.Inputs, name) {
+		return nil, fmt.Errorf("workflow: step %q did not declare input %q", c.step.Name, name)
+	}
+	a, ok := c.inputs[name]
+	if !ok {
+		return nil, fmt.Errorf("workflow: input %q not available to step %q", name, c.step.Name)
+	}
+	return a, nil
+}
+
+// Output publishes a declared output artifact.
+func (c *Context) Output(name, tier string, events int, data []byte) error {
+	if !contains(c.step.Outputs, name) {
+		return fmt.Errorf("workflow: step %q did not declare output %q", c.step.Name, name)
+	}
+	if _, dup := c.outputs[name]; dup {
+		return fmt.Errorf("workflow: step %q produced output %q twice", c.step.Name, name)
+	}
+	c.outputs[name] = &Artifact{Name: name, Tier: tier, Events: events, Data: data}
+	return nil
+}
+
+// External records that the step resolved an external resource (a
+// conditions folder, a catalogue, a database). The engine aggregates these
+// into the per-step dependency census of experiment W2.
+func (c *Context) External(dep string) {
+	c.external = append(c.external, dep)
+}
+
+// Config returns the step's captured configuration value.
+func (c *Context) Config(key string) string { return c.step.Config[key] }
+
+// StepFunc is the executable body of a step.
+type StepFunc func(ctx *Context) error
+
+// Step is one node of the workflow.
+type Step struct {
+	// Name uniquely identifies the step within the workflow.
+	Name string `json:"name"`
+	// Software and Version pin the release that implements the step.
+	Software string `json:"software"`
+	Version  string `json:"version"`
+	// Config is the step's full captured configuration.
+	Config map[string]string `json:"config,omitempty"`
+	// Inputs and Outputs wire the step into the artifact graph.
+	Inputs  []string `json:"inputs,omitempty"`
+	Outputs []string `json:"outputs"`
+	// Run executes the step. It is nil in a deserialized description; the
+	// runner re-binds implementations by step name.
+	Run StepFunc `json:"-"`
+}
+
+// ConfigDigest returns the SHA-256 over the step's sorted configuration,
+// the value provenance records as the step's configuration identity.
+func (s *Step) ConfigDigest() string {
+	keys := make([]string, 0, len(s.Config))
+	for k := range s.Config {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, s.Config[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Workflow is an ordered chain of steps.
+type Workflow struct {
+	Name string `json:"name"`
+	// ConditionsTag pins the calibration version for the whole run.
+	ConditionsTag string `json:"conditions_tag,omitempty"`
+	// PrimaryInputs are artifact names supplied from outside the workflow.
+	PrimaryInputs []string `json:"primary_inputs,omitempty"`
+	Steps         []Step   `json:"steps"`
+}
+
+// Validate checks the workflow is a well-formed chain: unique step and
+// output names, every input available (a primary input or an earlier
+// step's output), and every step runnable.
+func (w *Workflow) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workflow: empty name")
+	}
+	available := make(map[string]bool)
+	for _, in := range w.PrimaryInputs {
+		available[in] = true
+	}
+	stepNames := make(map[string]bool)
+	for i := range w.Steps {
+		s := &w.Steps[i]
+		if s.Name == "" {
+			return fmt.Errorf("workflow %q: step %d unnamed", w.Name, i)
+		}
+		if stepNames[s.Name] {
+			return fmt.Errorf("workflow %q: duplicate step %q", w.Name, s.Name)
+		}
+		stepNames[s.Name] = true
+		if len(s.Outputs) == 0 {
+			return fmt.Errorf("workflow %q: step %q has no outputs", w.Name, s.Name)
+		}
+		for _, in := range s.Inputs {
+			if !available[in] {
+				return fmt.Errorf("workflow %q: step %q input %q not produced by any earlier step or primary input", w.Name, s.Name, in)
+			}
+		}
+		for _, out := range s.Outputs {
+			if available[out] {
+				return fmt.Errorf("workflow %q: output %q produced twice", w.Name, out)
+			}
+			available[out] = true
+		}
+	}
+	return nil
+}
+
+// StepReport summarizes one executed step.
+type StepReport struct {
+	Step string
+	// ExternalDeps are the distinct external resources resolved, sorted.
+	ExternalDeps []string
+	// OutputBytes and OutputEvents total the step's products.
+	OutputBytes  int64
+	OutputEvents int
+}
+
+// Result is the outcome of one workflow execution.
+type Result struct {
+	// Artifacts holds every artifact produced (not the primary inputs).
+	Artifacts map[string]*Artifact
+	// RecordIDs maps artifact names to their provenance records.
+	RecordIDs map[string]string
+	// Reports are per-step summaries in execution order.
+	Reports []StepReport
+}
+
+// Execute runs the workflow over the given primary inputs, recording
+// provenance for every artifact (including roots for the primary inputs)
+// into prov. Steps missing a Run implementation fail the run.
+func (w *Workflow) Execute(inputs map[string]*Artifact, prov *provenance.Store) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	pool := make(map[string]*Artifact, len(inputs))
+	recordIDs := make(map[string]string)
+	for _, name := range w.PrimaryInputs {
+		a, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("workflow %q: primary input %q not supplied", w.Name, name)
+		}
+		pool[name] = a
+		id, err := prov.Add(provenance.Record{
+			Output: provenance.Artifact{
+				Name: a.Name, Digest: a.Digest(), Tier: a.Tier,
+				Events: a.Events, Bytes: int64(len(a.Data)),
+			},
+			Producer:      provenance.Producer{Step: "primary-input", Software: "daspos-workflow", Version: "1"},
+			ConditionsTag: w.ConditionsTag,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("workflow %q: recording primary input %q: %w", w.Name, name, err)
+		}
+		recordIDs[name] = id
+	}
+
+	res := &Result{Artifacts: make(map[string]*Artifact), RecordIDs: recordIDs}
+	for i := range w.Steps {
+		s := &w.Steps[i]
+		if s.Run == nil {
+			return nil, fmt.Errorf("workflow %q: step %q has no implementation bound", w.Name, s.Name)
+		}
+		ctx := &Context{step: s, inputs: pool, outputs: make(map[string]*Artifact)}
+		if err := s.Run(ctx); err != nil {
+			return nil, fmt.Errorf("workflow %q: step %q: %w", w.Name, s.Name, err)
+		}
+		var parents []string
+		for _, in := range s.Inputs {
+			parents = append(parents, recordIDs[in])
+		}
+		deps := dedupeSorted(ctx.external)
+		rep := StepReport{Step: s.Name, ExternalDeps: deps}
+		for _, out := range s.Outputs {
+			a, ok := ctx.outputs[out]
+			if !ok {
+				return nil, fmt.Errorf("workflow %q: step %q did not produce declared output %q", w.Name, s.Name, out)
+			}
+			pool[out] = a
+			res.Artifacts[out] = a
+			id, err := prov.Add(provenance.Record{
+				Output: provenance.Artifact{
+					Name: a.Name, Digest: a.Digest(), Tier: a.Tier,
+					Events: a.Events, Bytes: int64(len(a.Data)),
+				},
+				Producer: provenance.Producer{
+					Step: s.Name, Software: s.Software, Version: s.Version,
+					ConfigDigest: s.ConfigDigest(),
+				},
+				Parents:       parents,
+				ConditionsTag: w.ConditionsTag,
+				ExternalDeps:  deps,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("workflow %q: recording output %q: %w", w.Name, out, err)
+			}
+			recordIDs[out] = id
+			rep.OutputBytes += int64(len(a.Data))
+			rep.OutputEvents += a.Events
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	return res, nil
+}
+
+// Description returns the workflow's serializable preservation record:
+// everything except the step implementations.
+func (w *Workflow) Description() ([]byte, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(w, "", "  ")
+}
+
+// FromDescription parses a preserved workflow description. Step Run
+// implementations must be re-bound (BindImpl) before execution.
+func FromDescription(data []byte) (*Workflow, error) {
+	var w Workflow
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("workflow: parsing description: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// BindImpl attaches an implementation to the named step.
+func (w *Workflow) BindImpl(step string, fn StepFunc) error {
+	for i := range w.Steps {
+		if w.Steps[i].Name == step {
+			w.Steps[i].Run = fn
+			return nil
+		}
+	}
+	return fmt.Errorf("workflow %q: no step %q to bind", w.Name, step)
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeSorted(xs []string) []string {
+	if len(xs) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(xs))
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

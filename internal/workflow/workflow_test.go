@@ -1,0 +1,322 @@
+package workflow
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"daspos/internal/provenance"
+)
+
+// passthrough returns a StepFunc copying one input to one output with a
+// marker appended, and recording the given external deps.
+func passthrough(in, out, tier string, deps ...string) StepFunc {
+	return func(ctx *Context) error {
+		a, err := ctx.Input(in)
+		if err != nil {
+			return err
+		}
+		for _, d := range deps {
+			ctx.External(d)
+		}
+		data := append(append([]byte(nil), a.Data...), []byte("+"+out)...)
+		return ctx.Output(out, tier, a.Events, data)
+	}
+}
+
+func twoStep() *Workflow {
+	return &Workflow{
+		Name:          "chain",
+		ConditionsTag: "v1",
+		PrimaryInputs: []string{"raw"},
+		Steps: []Step{
+			{
+				Name: "reco", Software: "daspos-reco", Version: "3.2.1",
+				Config:  map[string]string{"minpt": "0.3", "jets": "cone0.4"},
+				Inputs:  []string{"raw"},
+				Outputs: []string{"reco-out"},
+				Run:     passthrough("raw", "reco-out", "RECO", "calo/ecal_scale", "beam/spot", "calo/ecal_scale"),
+			},
+			{
+				Name: "slim", Software: "daspos-skim", Version: "1.0",
+				Inputs:  []string{"reco-out"},
+				Outputs: []string{"aod"},
+				Run:     passthrough("reco-out", "aod", "AOD"),
+			},
+		},
+	}
+}
+
+func rawInput() map[string]*Artifact {
+	return map[string]*Artifact{
+		"raw": {Name: "raw", Tier: "RAW", Events: 10, Data: []byte("rawdata")},
+	}
+}
+
+func TestValidateAcceptsChain(t *testing.T) {
+	if err := twoStep().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	mutate := func(f func(*Workflow)) error {
+		w := twoStep()
+		f(w)
+		return w.Validate()
+	}
+	if err := mutate(func(w *Workflow) { w.Name = "" }); err == nil {
+		t.Error("empty workflow name accepted")
+	}
+	if err := mutate(func(w *Workflow) { w.Steps[1].Name = "reco" }); err == nil {
+		t.Error("duplicate step accepted")
+	}
+	if err := mutate(func(w *Workflow) { w.Steps[0].Name = "" }); err == nil {
+		t.Error("unnamed step accepted")
+	}
+	if err := mutate(func(w *Workflow) { w.Steps[1].Inputs = []string{"nonexistent"} }); err == nil {
+		t.Error("unsatisfied input accepted")
+	}
+	if err := mutate(func(w *Workflow) { w.Steps[1].Outputs = []string{"raw"} }); err == nil {
+		t.Error("output shadowing primary input accepted")
+	}
+	if err := mutate(func(w *Workflow) { w.Steps[0].Outputs = nil }); err == nil {
+		t.Error("outputless step accepted")
+	}
+	// Step order matters: consuming a later step's output is invalid.
+	if err := mutate(func(w *Workflow) { w.Steps[0], w.Steps[1] = w.Steps[1], w.Steps[0] }); err == nil {
+		t.Error("out-of-order chain accepted")
+	}
+}
+
+func TestExecuteProducesArtifactsAndProvenance(t *testing.T) {
+	w := twoStep()
+	prov := provenance.NewStore()
+	res, err := w.Execute(rawInput(), prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Artifacts["aod"].Data) != "rawdata+reco-out+aod" {
+		t.Fatalf("aod content: %q", res.Artifacts["aod"].Data)
+	}
+	// Three records: primary input + two step outputs.
+	if prov.Len() != 3 {
+		t.Fatalf("provenance records: %d", prov.Len())
+	}
+	lin, err := prov.Lineage(res.RecordIDs["aod"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 3 {
+		t.Fatalf("aod lineage depth %d", len(lin))
+	}
+	if lin[2].Producer.Step != "primary-input" {
+		t.Fatalf("chain root: %+v", lin[2].Producer)
+	}
+	if rep := prov.Audit(); rep.CompleteFraction() != 1 {
+		t.Fatalf("incomplete provenance after run: %+v", rep)
+	}
+}
+
+func TestExternalDependencyCensus(t *testing.T) {
+	w := twoStep()
+	prov := provenance.NewStore()
+	res, err := w.Execute(rawInput(), prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reco step resolved two distinct folders (one twice).
+	if got := res.Reports[0].ExternalDeps; len(got) != 2 || got[0] != "beam/spot" || got[1] != "calo/ecal_scale" {
+		t.Fatalf("reco deps: %v", got)
+	}
+	// The slim step resolved none — the paper's "dependencies become much
+	// weaker" after reconstruction.
+	if got := res.Reports[1].ExternalDeps; len(got) != 0 {
+		t.Fatalf("slim deps: %v", got)
+	}
+	rec, _ := prov.Get(res.RecordIDs["reco-out"])
+	if len(rec.ExternalDeps) != 2 {
+		t.Fatalf("provenance deps: %v", rec.ExternalDeps)
+	}
+	if rec.ConditionsTag != "v1" {
+		t.Fatalf("conditions tag: %q", rec.ConditionsTag)
+	}
+}
+
+func TestExecuteFailures(t *testing.T) {
+	// Missing primary input.
+	w := twoStep()
+	if _, err := w.Execute(map[string]*Artifact{}, provenance.NewStore()); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	// Unbound implementation.
+	w2 := twoStep()
+	w2.Steps[1].Run = nil
+	if _, err := w2.Execute(rawInput(), provenance.NewStore()); err == nil {
+		t.Fatal("unbound step ran")
+	}
+	// Step fails.
+	w3 := twoStep()
+	w3.Steps[0].Run = func(ctx *Context) error { return fmt.Errorf("boom") }
+	if _, err := w3.Execute(rawInput(), provenance.NewStore()); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("step failure not propagated: %v", err)
+	}
+	// Step forgets to produce a declared output.
+	w4 := twoStep()
+	w4.Steps[0].Run = func(ctx *Context) error { return nil }
+	if _, err := w4.Execute(rawInput(), provenance.NewStore()); err == nil {
+		t.Fatal("missing output accepted")
+	}
+}
+
+func TestContextEnforcesDeclarations(t *testing.T) {
+	w := &Workflow{
+		Name:          "strict",
+		PrimaryInputs: []string{"in"},
+		Steps: []Step{{
+			Name: "s", Outputs: []string{"out"}, Inputs: []string{"in"},
+			Run: func(ctx *Context) error {
+				if _, err := ctx.Input("undeclared"); err == nil {
+					return fmt.Errorf("undeclared input allowed")
+				}
+				if err := ctx.Output("undeclared-out", "X", 0, nil); err == nil {
+					return fmt.Errorf("undeclared output allowed")
+				}
+				if err := ctx.Output("out", "X", 0, []byte("x")); err != nil {
+					return err
+				}
+				if err := ctx.Output("out", "X", 0, []byte("y")); err == nil {
+					return fmt.Errorf("double output allowed")
+				}
+				return nil
+			},
+		}},
+	}
+	if _, err := w.Execute(map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDigestStability(t *testing.T) {
+	a := Step{Config: map[string]string{"x": "1", "y": "2"}}
+	b := Step{Config: map[string]string{"y": "2", "x": "1"}}
+	if a.ConfigDigest() != b.ConfigDigest() {
+		t.Fatal("digest depends on map order")
+	}
+	c := Step{Config: map[string]string{"x": "1", "y": "3"}}
+	if a.ConfigDigest() == c.ConfigDigest() {
+		t.Fatal("digest insensitive to values")
+	}
+}
+
+func TestConfigChangesProvenance(t *testing.T) {
+	// Reprocessing with a different configuration must yield different
+	// record IDs — that is how provenance distinguishes processings.
+	run := func(minpt string) string {
+		w := twoStep()
+		w.Steps[0].Config["minpt"] = minpt
+		prov := provenance.NewStore()
+		res, err := w.Execute(rawInput(), prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RecordIDs["reco-out"]
+	}
+	if run("0.3") == run("0.5") {
+		t.Fatal("config change invisible in provenance")
+	}
+}
+
+func TestDescriptionRoundTrip(t *testing.T) {
+	w := twoStep()
+	desc, err := w.Description()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(desc), `"conditions_tag": "v1"`) {
+		t.Fatalf("description incomplete:\n%s", desc)
+	}
+	got, err := FromDescription(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name || len(got.Steps) != 2 || got.Steps[0].Config["minpt"] != "0.3" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Implementations are not serialized; execution must fail until bound.
+	if _, err := got.Execute(rawInput(), provenance.NewStore()); err == nil {
+		t.Fatal("deserialized workflow ran without binding")
+	}
+	if err := got.BindImpl("reco", passthrough("raw", "reco-out", "RECO")); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.BindImpl("slim", passthrough("reco-out", "aod", "AOD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.BindImpl("nope", nil); err == nil {
+		t.Fatal("bound to phantom step")
+	}
+	res, err := got.Execute(rawInput(), provenance.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Artifacts["aod"].Data) != "rawdata+reco-out+aod" {
+		t.Fatal("re-bound workflow produced different output")
+	}
+}
+
+func TestFromDescriptionRejectsInvalid(t *testing.T) {
+	if _, err := FromDescription([]byte("{bad")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := FromDescription([]byte(`{"name":"x","steps":[{"name":"s","inputs":["ghost"],"outputs":["o"]}]}`)); err == nil {
+		t.Fatal("invalid wiring accepted")
+	}
+}
+
+func TestReproducibleExecution(t *testing.T) {
+	// Same workflow + same inputs → identical artifact digests and record
+	// IDs: the core preservation guarantee.
+	runIDs := func() map[string]string {
+		w := twoStep()
+		prov := provenance.NewStore()
+		res, err := w.Execute(rawInput(), prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RecordIDs
+	}
+	a, b := runIDs(), runIDs()
+	if len(a) != len(b) {
+		t.Fatal("different record sets")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("record ID for %q differs between identical runs", k)
+		}
+	}
+}
+
+func TestArtifactDigest(t *testing.T) {
+	a := &Artifact{Data: []byte("hello")}
+	b := &Artifact{Data: []byte("hello")}
+	if a.Digest() != b.Digest() {
+		t.Fatal("digest not content-determined")
+	}
+	var buf bytes.Buffer
+	buf.WriteString("x")
+	c := &Artifact{Data: buf.Bytes()}
+	if c.Digest() == a.Digest() {
+		t.Fatal("different content, same digest")
+	}
+}
+
+func BenchmarkExecuteTwoStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := twoStep()
+		if _, err := w.Execute(rawInput(), provenance.NewStore()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

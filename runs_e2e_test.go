@@ -1,0 +1,79 @@
+package daspos
+
+import (
+	"testing"
+
+	"daspos/internal/bridge"
+	"daspos/internal/datamodel"
+	"daspos/internal/generator"
+	"daspos/internal/leshouches"
+	"daspos/internal/runs"
+	"daspos/internal/sim"
+)
+
+// TestGoodRunListScopesReinterpretation ties the run bookkeeping to the
+// physics: the data-quality filter drops bad-run events, and the archived
+// good-run list's frozen luminosity is what converts the event limit into
+// a cross-section limit.
+func TestGoodRunListScopesReinterpretation(t *testing.T) {
+	reg := runs.NewRegistry()
+	for run := uint32(1); run <= 10; run++ {
+		if err := reg.Add(run, 1000, 2000); err != nil { // 2/fb per run
+			t.Fatal(err)
+		}
+		q := runs.QualityGood
+		var defects []string
+		if run == 4 {
+			q, defects = runs.QualityBad, []string{"ecal hole"}
+		}
+		if err := reg.SetQuality(run, q, defects...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grl := reg.BuildGoodRunList("physics", "v2")
+	if grl.LumiPb != 18000 { // 9 good runs x 2/fb
+		t.Fatalf("GRL lumi %v", grl.LumiPb)
+	}
+	// The list round-trips through its archival form before use, as a
+	// preserved analysis would consume it.
+	data, err := grl.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	archived, err := runs.DecodeGoodRunList(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a fast-simulated sample spread across the ten runs.
+	gen := generator.NewZPrime(generator.DefaultConfig(5), 1500)
+	fast := sim.NewFastSim(5)
+	var events []*datamodel.Event
+	for i := 0; i < 200; i++ {
+		ev := gen.Generate()
+		e := bridge.EventFromFastObjects(uint64(i), fast.Simulate(ev))
+		e.Run = uint32(i%10 + 1)
+		events = append(events, e)
+	}
+	selected := archived.SelectEvents(events)
+	if len(selected) != 180 { // run 4's 20 events dropped
+		t.Fatalf("DQ-selected events: %d", len(selected))
+	}
+	record := dimuonSearchRecord()
+	rei, err := leshouches.Reinterpret(record, selected, archived.LumiPb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rei.Generated != 180 || rei.UpperLimitXsecPb <= 0 {
+		t.Fatalf("reinterpretation: %+v", rei)
+	}
+	// Less luminosity (a stricter GRL) must weaken the cross-section limit.
+	reiHalf, err := leshouches.Reinterpret(record, selected, archived.LumiPb/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reiHalf.UpperLimitXsecPb <= rei.UpperLimitXsecPb {
+		t.Fatalf("limit did not weaken with lumi: %v vs %v",
+			reiHalf.UpperLimitXsecPb, rei.UpperLimitXsecPb)
+	}
+}
