@@ -92,9 +92,16 @@ type Archive struct {
 	packages map[string]*Package
 }
 
-// New returns an empty archive.
+// New returns an empty archive over an in-memory blob store.
 func New() *Archive {
-	return &Archive{blobs: cas.NewStore(), packages: make(map[string]*Package)}
+	return NewWithStore(cas.NewStore())
+}
+
+// NewWithStore returns an empty archive over a caller-supplied blob store
+// — the hook for alternative or fault-injected backends (chaos tests wrap
+// the store's backend through internal/faults).
+func NewWithStore(blobs *cas.Store) *Archive {
+	return &Archive{blobs: blobs, packages: make(map[string]*Package)}
 }
 
 // Ingest stores the payload files and registers the package, returning its

@@ -1,7 +1,11 @@
 package archive
 
 import (
+	"context"
 	"fmt"
+	"time"
+
+	"daspos/internal/resilience"
 )
 
 // Replication: the "succession plans (e.g. an alternative data centre) are
@@ -9,12 +13,59 @@ import (
 // data-management maturity rating. CopyPackage moves one package between
 // archives with end-to-end fixity; Replicate synchronizes everything and
 // Repair heals a damaged archive from a healthy replica.
+//
+// Replica traffic crosses storage and network boundaries, so every blob
+// copy runs under a retry policy: transient faults (flaky media, injected
+// chaos) are retried with backoff, while permanent ones (a package absent
+// from the replica, corruption of the only copy) abort immediately.
 
-// CopyPackage copies a package (metadata and payload) into dst. Content
-// addressing makes the copy self-verifying: every blob is fixity-checked
-// on read, and the package keeps its ID. Copying a package that already
-// exists in dst is a no-op.
+// DefaultReplicationPolicy is the retry schedule blob copies run under:
+// a handful of quick, capped-backoff attempts. Transient-only — an
+// unclassified error is not retried, so logic bugs fail loudly instead of
+// thrice.
+func DefaultReplicationPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Jitter:      0.2,
+	}
+}
+
+// copyFile moves one verified payload file from src to dst under the
+// retry policy. Fetch re-reads on every attempt, so a transient read
+// fault on one try can heal on the next.
+func copyFile(ctx context.Context, dst, src *Archive, id string, f File, pol resilience.Policy) error {
+	return resilience.Retry(ctx, pol, func(context.Context) error {
+		data, err := src.Fetch(id, f.Path)
+		if err != nil {
+			return err
+		}
+		digest, err := dst.blobs.Put(data)
+		if err != nil {
+			return err
+		}
+		if digest != f.Digest {
+			// Cannot happen unless Fetch's fixity check is broken; keep
+			// the invariant explicit — and permanent.
+			return resilience.MarkPermanent(
+				fmt.Errorf("archive: replica digest drift for %s in %s", f.Path, id))
+		}
+		return nil
+	})
+}
+
+// CopyPackage copies a package (metadata and payload) into dst with the
+// default retry policy. Content addressing makes the copy self-verifying:
+// every blob is fixity-checked on read, and the package keeps its ID.
+// Copying a package that already exists in dst is a no-op.
 func CopyPackage(dst, src *Archive, id string) error {
+	return CopyPackageCtx(context.Background(), dst, src, id, DefaultReplicationPolicy())
+}
+
+// CopyPackageCtx is CopyPackage under a caller-supplied context and retry
+// policy.
+func CopyPackageCtx(ctx context.Context, dst, src *Archive, id string, pol resilience.Policy) error {
 	pkg, ok := src.Get(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoPackage, id)
@@ -24,33 +75,29 @@ func CopyPackage(dst, src *Archive, id string) error {
 	}
 	cp := &Package{Metadata: pkg.Metadata, Files: append([]File(nil), pkg.Files...)}
 	for _, f := range pkg.Files {
-		data, err := src.Fetch(id, f.Path)
-		if err != nil {
+		if err := copyFile(ctx, dst, src, id, f, pol); err != nil {
 			return fmt.Errorf("archive: replicating %s: %w", id, err)
-		}
-		digest, err := dst.blobs.Put(data)
-		if err != nil {
-			return err
-		}
-		if digest != f.Digest {
-			// Cannot happen unless Fetch's fixity check is broken; keep
-			// the invariant explicit.
-			return fmt.Errorf("archive: replica digest drift for %s in %s", f.Path, id)
 		}
 	}
 	dst.packages[id] = cp
 	return nil
 }
 
-// Replicate copies every package from src that dst is missing, returning
-// the number copied.
+// Replicate copies every package from src that dst is missing with the
+// default retry policy, returning the number copied.
 func Replicate(dst, src *Archive) (int, error) {
+	return ReplicateCtx(context.Background(), dst, src, DefaultReplicationPolicy())
+}
+
+// ReplicateCtx is Replicate under a caller-supplied context and retry
+// policy.
+func ReplicateCtx(ctx context.Context, dst, src *Archive, pol resilience.Policy) (int, error) {
 	copied := 0
 	for _, id := range src.IDs() {
 		if _, exists := dst.packages[id]; exists {
 			continue
 		}
-		if err := CopyPackage(dst, src, id); err != nil {
+		if err := CopyPackageCtx(ctx, dst, src, id, pol); err != nil {
 			return copied, err
 		}
 		copied++
@@ -58,10 +105,16 @@ func Replicate(dst, src *Archive) (int, error) {
 	return copied, nil
 }
 
-// Repair restores damaged packages in a from a healthy replica: the
-// disaster-recovery drill of the maturity table's level 5 ("routinely
-// tested and shown to be effective"). It returns the repaired package IDs.
+// Repair restores damaged packages in a from a healthy replica with the
+// default retry policy: the disaster-recovery drill of the maturity
+// table's level 5 ("routinely tested and shown to be effective"). It
+// returns the repaired package IDs.
 func Repair(damaged, replica *Archive) ([]string, error) {
+	return RepairCtx(context.Background(), damaged, replica, DefaultReplicationPolicy())
+}
+
+// RepairCtx is Repair under a caller-supplied context and retry policy.
+func RepairCtx(ctx context.Context, damaged, replica *Archive, pol resilience.Policy) ([]string, error) {
 	var repaired []string
 	for _, id := range damaged.IDs() {
 		if damaged.VerifyPackage(id) == nil {
@@ -69,20 +122,32 @@ func Repair(damaged, replica *Archive) ([]string, error) {
 		}
 		pkg, ok := replica.Get(id)
 		if !ok {
-			return repaired, fmt.Errorf("archive: package %s damaged and absent from replica", id)
+			return repaired, resilience.MarkPermanent(
+				fmt.Errorf("archive: package %s damaged and absent from replica", id))
 		}
 		for _, f := range pkg.Files {
-			data, err := replica.Fetch(id, f.Path)
+			file := f
+			err := resilience.Retry(ctx, pol, func(context.Context) error {
+				data, err := replica.Fetch(id, file.Path)
+				if err != nil {
+					return err
+				}
+				// Drop the bad blob and restore from the replica's bytes.
+				damaged.blobs.Delete(file.Digest)
+				_, err = damaged.blobs.Put(data)
+				return err
+			})
 			if err != nil {
-				return repaired, fmt.Errorf("archive: replica of %s also damaged: %w", id, err)
-			}
-			// Drop the bad blob and restore from the replica's bytes.
-			damaged.blobs.Delete(f.Digest)
-			if _, err := damaged.blobs.Put(data); err != nil {
-				return repaired, err
+				return repaired, fmt.Errorf("archive: repairing %s from replica: %w", id, err)
 			}
 		}
-		if err := damaged.VerifyPackage(id); err != nil {
+		// The closing audit also runs under the policy: a transient read
+		// fault during verification must not fail an otherwise-successful
+		// repair. Real corruption is not transient and still aborts.
+		err := resilience.Retry(ctx, pol, func(context.Context) error {
+			return damaged.VerifyPackage(id)
+		})
+		if err != nil {
 			return repaired, fmt.Errorf("archive: repair of %s did not verify: %w", id, err)
 		}
 		repaired = append(repaired, id)

@@ -5,6 +5,13 @@
 // fixity checks are intrinsic (a blob that decompresses to the wrong hash
 // is corrupt by definition), and identical payloads archived by different
 // packages are stored once.
+//
+// Storage is pluggable through the Backend interface; the Store layers
+// compression, fixity verification, and (optionally) replica fallback on
+// top: when the primary backend loses or corrupts a blob and a replica is
+// attached, Get transparently serves the replica's verified copy and heals
+// the primary — the self-repairing archive the Appendix-A level-5
+// disaster-recovery rating calls for.
 package cas
 
 import (
@@ -16,8 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 )
 
 // ErrNotFound is returned when a digest is not in the store.
@@ -26,100 +31,175 @@ var ErrNotFound = errors.New("cas: blob not found")
 // ErrCorrupt is returned when a blob fails its fixity check.
 var ErrCorrupt = errors.New("cas: blob corrupt")
 
+// NotFoundError carries the missing digest; it wraps ErrNotFound so
+// errors.Is keeps working.
+type NotFoundError struct {
+	Digest string
+}
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("cas: blob not found: %s", e.Digest) }
+
+// Unwrap ties the typed error to the ErrNotFound sentinel.
+func (e *NotFoundError) Unwrap() error { return ErrNotFound }
+
+// CorruptError reports a fixity failure with enough detail for resilience
+// policies and archive.Repair to branch on: the digest that was requested
+// (Expected), what the stored bytes actually hash to (Actual, empty when
+// the blob would not even decompress), and the underlying decode error, if
+// any. It wraps ErrCorrupt, so errors.Is(err, ErrCorrupt) holds.
+type CorruptError struct {
+	// Digest is the content address that was requested.
+	Digest string
+	// Expected is the digest the content should hash to (same as Digest).
+	Expected string
+	// Actual is the digest the decompressed bytes hash to; empty when
+	// decompression itself failed.
+	Actual string
+	// Cause is the decompression error, when that is what failed.
+	Cause error
+}
+
+func (e *CorruptError) Error() string {
+	switch {
+	case e.Cause != nil:
+		return fmt.Sprintf("cas: blob corrupt: %s: %v", e.Digest, e.Cause)
+	case e.Actual != "":
+		return fmt.Sprintf("cas: blob corrupt: %s: content hashes to %s", e.Digest, e.Actual)
+	default:
+		return fmt.Sprintf("cas: blob corrupt: %s", e.Digest)
+	}
+}
+
+// Unwrap ties the typed error to the ErrCorrupt sentinel (and the decode
+// cause, when present).
+func (e *CorruptError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrCorrupt, e.Cause}
+	}
+	return []error{ErrCorrupt}
+}
+
 // Digest computes the content address of a payload.
 func Digest(data []byte) string {
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
 }
 
-// Store is an in-memory content-addressed blob store, safe for concurrent
-// use. Persist and Load move the whole store to and from a stream.
+// Store is a content-addressed blob store over a pluggable Backend, safe
+// for concurrent use. Persist and Load move the whole store to and from a
+// stream. An optional replica backend turns Get into a self-healing read
+// path.
 type Store struct {
-	mu    sync.RWMutex
-	blobs map[string][]byte // digest -> compressed payload
-	// logical tracks the uncompressed size per digest for stats.
-	logical map[string]int64
+	backend Backend
+	replica Backend
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{blobs: make(map[string][]byte), logical: make(map[string]int64)}
+// NewStore returns an empty store over an in-memory backend.
+func NewStore() *Store { return NewStoreWith(NewMemBackend()) }
+
+// NewStoreWith returns a store over the given backend.
+func NewStoreWith(b Backend) *Store { return &Store{backend: b} }
+
+// SetReplica attaches a replica backend: when the primary read path fails
+// (lost or corrupt blob, transient backend fault), Get serves the
+// replica's verified bytes and writes them back to the primary.
+func (s *Store) SetReplica(b Backend) { s.replica = b }
+
+// compress deflates a payload.
+func compress(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Put stores a payload and returns its digest. Duplicate content is a
 // no-op returning the same digest.
 func (s *Store) Put(data []byte) (string, error) {
 	d := Digest(data)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.blobs[d]; ok {
+	if s.backend.HasBlob(d) {
 		return d, nil
 	}
-	var buf bytes.Buffer
-	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	comp, err := compress(data)
 	if err != nil {
 		return "", err
 	}
-	if _, err := zw.Write(data); err != nil {
-		return "", err
+	if err := s.backend.PutBlob(d, comp, int64(len(data))); err != nil {
+		return "", fmt.Errorf("cas: storing %s: %w", d, err)
 	}
-	if err := zw.Close(); err != nil {
-		return "", err
-	}
-	s.blobs[d] = append([]byte(nil), buf.Bytes()...)
-	s.logical[d] = int64(len(data))
 	return d, nil
 }
 
-// Get retrieves and fixity-checks a payload.
-func (s *Store) Get(digest string) ([]byte, error) {
-	s.mu.RLock()
-	comp, ok := s.blobs[digest]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, digest)
+// decodeVerified decompresses and fixity-checks one backend read.
+func decodeVerified(b Backend, digest string) (data, comp []byte, logical int64, err error) {
+	comp, logical, err = b.GetBlob(digest)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, nil, 0, err
+		}
+		return nil, nil, 0, fmt.Errorf("cas: reading %s: %w", digest, err)
 	}
 	zr := flate.NewReader(bytes.NewReader(comp))
-	data, err := io.ReadAll(zr)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, digest, err)
+	data, derr := io.ReadAll(zr)
+	if derr != nil {
+		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
 	}
-	if err := zr.Close(); err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, digest, err)
+	if cerr := zr.Close(); cerr != nil {
+		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: cerr}
 	}
-	if Digest(data) != digest {
-		return nil, fmt.Errorf("%w: %s: content hash mismatch", ErrCorrupt, digest)
+	if actual := Digest(data); actual != digest {
+		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Actual: actual}
 	}
-	return data, nil
+	return data, comp, logical, nil
 }
 
-// Has reports whether the digest is stored.
-func (s *Store) Has(digest string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.blobs[digest]
-	return ok
-}
-
-// Delete removes a blob. Deleting an absent digest is a no-op.
-func (s *Store) Delete(digest string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.blobs, digest)
-	delete(s.logical, digest)
-}
-
-// Digests returns the sorted list of stored digests.
-func (s *Store) Digests() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.blobs))
-	for d := range s.blobs {
-		out = append(out, d)
+// Get retrieves and fixity-checks a payload. With a replica attached, any
+// primary failure falls through to the replica's verified copy, and a good
+// replica read repairs the primary in place.
+func (s *Store) Get(digest string) ([]byte, error) {
+	data, _, _, err := decodeVerified(s.backend, digest)
+	if err == nil {
+		return data, nil
 	}
-	sort.Strings(out)
-	return out
+	if s.replica == nil {
+		return nil, err
+	}
+	rdata, rcomp, rlogical, rerr := decodeVerified(s.replica, digest)
+	if rerr != nil {
+		// The replica could not help; report the primary failure.
+		return nil, err
+	}
+	// Self-heal: write the replica's verified bytes back to the primary.
+	// Best-effort — a failed heal still serves the read.
+	_ = s.backend.PutBlob(digest, rcomp, rlogical)
+	return rdata, nil
 }
+
+// GetPrimary retrieves a payload from the primary backend only — no
+// replica fallback. Audits use it so a healthy replica cannot mask
+// primary damage.
+func (s *Store) GetPrimary(digest string) ([]byte, error) {
+	data, _, _, err := decodeVerified(s.backend, digest)
+	return data, err
+}
+
+// Has reports whether the digest is stored in the primary.
+func (s *Store) Has(digest string) bool { return s.backend.HasBlob(digest) }
+
+// Delete removes a blob from the primary. Deleting an absent digest is a
+// no-op.
+func (s *Store) Delete(digest string) { s.backend.DeleteBlob(digest) }
+
+// Digests returns the sorted list of digests in the primary.
+func (s *Store) Digests() []string { return s.backend.Digests() }
 
 // Stats summarizes storage consumption.
 type Stats struct {
@@ -138,21 +218,26 @@ func (st Stats) CompressionRatio() float64 {
 
 // Stats returns current storage statistics.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{Blobs: len(s.blobs)}
-	for d, b := range s.blobs {
-		st.StoredBytes += int64(len(b))
-		st.LogicalBytes += s.logical[d]
+	st := Stats{}
+	for _, d := range s.backend.Digests() {
+		comp, logical, err := s.backend.GetBlob(d)
+		if err != nil {
+			continue
+		}
+		st.Blobs++
+		st.StoredBytes += int64(len(comp))
+		st.LogicalBytes += logical
 	}
 	return st
 }
 
-// VerifyAll fixity-checks every blob and returns the digests that failed.
+// VerifyAll fixity-checks every primary blob and returns the digests that
+// failed. It deliberately bypasses replica fallback: an audit must see
+// primary damage even when reads would be served transparently.
 func (s *Store) VerifyAll() []string {
 	var bad []string
-	for _, d := range s.Digests() {
-		if _, err := s.Get(d); err != nil {
+	for _, d := range s.backend.Digests() {
+		if _, err := s.GetPrimary(d); err != nil {
 			bad = append(bad, d)
 		}
 	}
@@ -160,37 +245,28 @@ func (s *Store) VerifyAll() []string {
 }
 
 // Corrupt flips a byte inside a stored blob — a fault-injection hook for
-// testing fixity detection (bit rot on archival media).
+// testing fixity detection (bit rot on archival media). It requires a
+// backend that supports corruption (MemBackend does).
 func (s *Store) Corrupt(digest string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, ok := s.blobs[digest]
+	c, ok := s.backend.(Corrupter)
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, digest)
+		return fmt.Errorf("cas: backend %T does not support fault injection", s.backend)
 	}
-	if len(b) == 0 {
-		return fmt.Errorf("cas: blob %s empty", digest)
-	}
-	b[len(b)/2] ^= 0xFF
-	return nil
+	return c.CorruptBlob(digest)
 }
 
 // Persist writes the store to w: a stream of
 // (digestLen, digest, logicalLen, compLen, compressed bytes) records.
 func (s *Store) Persist(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	digests := make([]string, 0, len(s.blobs))
-	for d := range s.blobs {
-		digests = append(digests, d)
-	}
-	sort.Strings(digests)
-	for _, d := range digests {
-		comp := s.blobs[d]
+	for _, d := range s.backend.Digests() {
+		comp, logical, err := s.backend.GetBlob(d)
+		if err != nil {
+			return fmt.Errorf("cas: persisting %s: %w", d, err)
+		}
 		hdr := make([]byte, 2+len(d)+8+8)
 		binary.LittleEndian.PutUint16(hdr, uint16(len(d)))
 		copy(hdr[2:], d)
-		binary.LittleEndian.PutUint64(hdr[2+len(d):], uint64(s.logical[d]))
+		binary.LittleEndian.PutUint64(hdr[2+len(d):], uint64(logical))
 		binary.LittleEndian.PutUint64(hdr[2+len(d)+8:], uint64(len(comp)))
 		if _, err := w.Write(hdr); err != nil {
 			return err
@@ -231,8 +307,9 @@ func Load(r io.Reader) (*Store, error) {
 		if _, err := io.ReadFull(r, comp); err != nil {
 			return nil, fmt.Errorf("cas: loading: %w", err)
 		}
-		s.blobs[digest] = comp
-		s.logical[digest] = logical
+		if err := s.backend.PutBlob(digest, comp, logical); err != nil {
+			return nil, fmt.Errorf("cas: loading %s: %w", digest, err)
+		}
 	}
 	if bad := s.VerifyAll(); len(bad) > 0 {
 		return nil, fmt.Errorf("%w: %d blobs failed fixity on load", ErrCorrupt, len(bad))

@@ -1,0 +1,184 @@
+package conditions
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"daspos/internal/resilience"
+)
+
+// This file implements the degradation half of the paper's §3.2 duality:
+// most experiments resolve conditions through a live database service,
+// while ALICE ships a flat snapshot file with the data. A ServiceClient
+// uses both — service mode while the service is healthy, transparent
+// fallback to the last-good snapshot when it is not — so a reconstruction
+// or reinterpretation job survives a conditions outage instead of dying
+// mid-run. The breaker keeps a dead service from stalling every lookup on
+// its timeout.
+
+// Resolver resolves conditions lookups, possibly over a network. The live
+// *DB satisfies it through DBResolver; internal/faults wraps a Resolver to
+// inject outages, latency, and flapping for chaos tests.
+type Resolver interface {
+	Lookup(ctx context.Context, folder, tag string, run uint32) (Payload, error)
+}
+
+// DBResolver adapts a local *DB to the Resolver interface, honouring
+// context cancellation the way a remote client would.
+type DBResolver struct {
+	DB *DB
+}
+
+// Lookup implements Resolver.
+func (r DBResolver) Lookup(ctx context.Context, folder, tag string, run uint32) (Payload, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.DB.Lookup(folder, tag, run)
+}
+
+// ClientStats counts where lookups were served from.
+type ClientStats struct {
+	// ServiceHits are lookups answered by the live service.
+	ServiceHits uint64
+	// SnapshotHits are lookups served from the snapshot or the last-good
+	// cache while the service was failing or the breaker was open.
+	SnapshotHits uint64
+	// ServiceFailures are service calls that errored or timed out.
+	ServiceFailures uint64
+	// BreakerState is the breaker's admission mode at snapshot time.
+	BreakerState resilience.BreakerState
+}
+
+// ClientConfig tunes a ServiceClient. The zero value gets sane defaults.
+type ClientConfig struct {
+	// Timeout bounds each service lookup. Values <= 0 mean 100ms.
+	Timeout time.Duration
+	// Breaker configures the circuit breaker guarding the service.
+	Breaker resilience.BreakerConfig
+}
+
+// ServiceClient resolves conditions for one tag and run with graceful
+// degradation: live service while healthy, last-good snapshot when not.
+// Safe for concurrent use by reconstruction workers.
+type ServiceClient struct {
+	resolver Resolver
+	tag      string
+	run      uint32
+	timeout  time.Duration
+	breaker  *resilience.Breaker
+
+	mu       sync.RWMutex
+	snap     *Snapshot          // shipped baseline; may be nil
+	lastGood map[string]Payload // per-folder freshest service answers
+	stats    ClientStats
+}
+
+// NewServiceClient returns a client over the resolver for one tag and run.
+// snap is the shipped baseline snapshot served when the service degrades;
+// nil means lookups fail hard until the service has answered at least once
+// per folder.
+func NewServiceClient(r Resolver, tag string, run uint32, snap *Snapshot, cfg ClientConfig) *ServiceClient {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 100 * time.Millisecond
+	}
+	return &ServiceClient{
+		resolver: r,
+		tag:      tag,
+		run:      run,
+		timeout:  cfg.Timeout,
+		breaker:  resilience.NewBreaker(cfg.Breaker),
+		snap:     snap,
+		lastGood: make(map[string]Payload),
+	}
+}
+
+// isAuthoritativeMiss reports whether the error is the service saying "no
+// such data" — an answer, not a fault, so it neither trips the breaker nor
+// falls back to the snapshot (the snapshot would be staler, not wiser).
+func isAuthoritativeMiss(err error) bool {
+	return errors.Is(err, ErrNoFolder) || errors.Is(err, ErrNoTag) || errors.Is(err, ErrNoIoV)
+}
+
+// Lookup resolves a folder: through the live service while the breaker
+// admits calls, from the last-good cache or snapshot when the service
+// fails, times out, or the breaker is open.
+func (c *ServiceClient) Lookup(ctx context.Context, folder string) (Payload, error) {
+	if c.breaker.Allow() {
+		cctx, cancel := context.WithTimeout(ctx, c.timeout)
+		p, err := c.resolver.Lookup(cctx, folder, c.tag, c.run)
+		cancel()
+		switch {
+		case err == nil:
+			c.breaker.Success()
+			c.mu.Lock()
+			c.stats.ServiceHits++
+			c.lastGood[folder] = p.clone()
+			c.mu.Unlock()
+			return p, nil
+		case isAuthoritativeMiss(err):
+			// The service answered; the data genuinely is not there.
+			c.breaker.Success()
+			c.mu.Lock()
+			c.stats.ServiceHits++
+			c.mu.Unlock()
+			return nil, err
+		default:
+			// Fault: count it against the breaker and degrade.
+			c.breaker.Failure()
+			c.mu.Lock()
+			c.stats.ServiceFailures++
+			c.mu.Unlock()
+			if ctx.Err() != nil {
+				// The caller's own context died; degradation cannot help.
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return c.degraded(folder)
+}
+
+// degraded serves a folder from the last-good cache, then the snapshot.
+func (c *ServiceClient) degraded(folder string) (Payload, error) {
+	c.mu.Lock()
+	c.stats.SnapshotHits++
+	p, ok := c.lastGood[folder]
+	snap := c.snap
+	c.mu.Unlock()
+	if ok {
+		return p.clone(), nil
+	}
+	if snap != nil {
+		return snap.Lookup(folder)
+	}
+	return nil, fmt.Errorf("%w: %q (service degraded, no snapshot)", ErrNoFolder, folder)
+}
+
+// Degraded reports whether lookups are currently being served from the
+// snapshot (breaker not closed).
+func (c *ServiceClient) Degraded() bool {
+	return c.breaker.State() != resilience.Closed
+}
+
+// UpdateSnapshot replaces the baseline snapshot, e.g. after shipping a
+// fresh one while the service is healthy.
+func (c *ServiceClient) UpdateSnapshot(s *Snapshot) {
+	c.mu.Lock()
+	c.snap = s
+	c.mu.Unlock()
+}
+
+// Stats snapshots the serving counters.
+func (c *ServiceClient) Stats() ClientStats {
+	c.mu.RLock()
+	st := c.stats
+	c.mu.RUnlock()
+	st.BreakerState = c.breaker.State()
+	return st
+}
+
+// Breaker exposes the underlying breaker for tests and status reports.
+func (c *ServiceClient) Breaker() *resilience.Breaker { return c.breaker }

@@ -1,0 +1,215 @@
+package conditions_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"daspos/internal/conditions"
+	"daspos/internal/faults"
+	"daspos/internal/resilience"
+)
+
+// seedDB builds a conditions DB with a couple of folders under tag v1.
+func seedDB(t testing.TB) *conditions.DB {
+	t.Helper()
+	db := conditions.NewDB()
+	for folder, val := range map[string]float64{
+		"ecal/scale":   1.015,
+		"tracker/bias": -0.002,
+	} {
+		if err := db.Store(folder, "v1", conditions.IoV{First: 1, Last: 1000},
+			conditions.Payload{"value": val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func newClient(t testing.TB, r conditions.Resolver, snap *conditions.Snapshot, threshold int) *conditions.ServiceClient {
+	t.Helper()
+	return conditions.NewServiceClient(r, "v1", 42, snap, conditions.ClientConfig{
+		Timeout: 5 * time.Millisecond,
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: threshold,
+			OpenInterval:     time.Hour, // stays open for the whole test
+		},
+	})
+}
+
+func TestServiceClientHealthyPath(t *testing.T) {
+	db := seedDB(t)
+	c := newClient(t, conditions.DBResolver{DB: db}, nil, 3)
+	p, err := c.Lookup(context.Background(), "ecal/scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["value"] != 1.015 {
+		t.Fatalf("wrong payload: %v", p)
+	}
+	if c.Degraded() {
+		t.Fatal("healthy client reports degraded")
+	}
+	st := c.Stats()
+	if st.ServiceHits != 1 || st.SnapshotHits != 0 {
+		t.Fatalf("stats = %+v, want one service hit", st)
+	}
+}
+
+func TestServiceClientAuthoritativeMissDoesNotDegrade(t *testing.T) {
+	db := seedDB(t)
+	snap := db.Snapshot("v1", 42)
+	c := newClient(t, conditions.DBResolver{DB: db}, snap, 2)
+	_, err := c.Lookup(context.Background(), "no/such/folder")
+	if !errors.Is(err, conditions.ErrNoFolder) {
+		t.Fatalf("want ErrNoFolder from the service, got %v", err)
+	}
+	if c.Breaker().State() != resilience.Closed {
+		t.Fatal("authoritative miss counted as a fault")
+	}
+}
+
+// TestConditionsFailover is the acceptance scenario: the service starts
+// timing out, the breaker opens after the threshold, and lookups keep
+// answering transparently from the snapshot.
+func TestConditionsFailover(t *testing.T) {
+	db := seedDB(t)
+	snap := db.Snapshot("v1", 42)
+	inj := faults.NewInjector(11)
+	flaky := &faults.FlakyResolver{Inner: conditions.DBResolver{DB: db}, Inj: inj}
+	c := newClient(t, flaky, snap, 3)
+
+	// Warm the last-good cache through a healthy lookup.
+	if _, err := c.Lookup(context.Background(), "ecal/scale"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The service stalls: every lookup now exceeds the client timeout.
+	inj.WithLatency(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		p, err := c.Lookup(context.Background(), "ecal/scale")
+		if err != nil {
+			t.Fatalf("lookup %d failed during outage: %v", i, err)
+		}
+		if p["value"] != 1.015 {
+			t.Fatalf("degraded lookup %d served wrong payload: %v", i, p)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatal("breaker never opened under repeated timeouts")
+	}
+	st := c.Stats()
+	if st.ServiceFailures != 3 {
+		t.Fatalf("service failures = %d, want exactly the breaker threshold 3 (breaker should stop further probes)", st.ServiceFailures)
+	}
+	if st.SnapshotHits != 5 {
+		t.Fatalf("snapshot hits = %d, want 5", st.SnapshotHits)
+	}
+
+	// A folder never served live comes from the snapshot baseline.
+	p, err := c.Lookup(context.Background(), "tracker/bias")
+	if err != nil {
+		t.Fatalf("snapshot baseline lookup failed: %v", err)
+	}
+	if p["value"] != -0.002 {
+		t.Fatalf("snapshot served wrong payload: %v", p)
+	}
+}
+
+func TestServiceClientOutageWithoutSnapshotFailsHard(t *testing.T) {
+	db := seedDB(t)
+	inj := faults.NewInjector(13)
+	inj.FailNext("lookup", 100)
+	flaky := &faults.FlakyResolver{Inner: conditions.DBResolver{DB: db}, Inj: inj}
+	c := newClient(t, flaky, nil, 2)
+	if _, err := c.Lookup(context.Background(), "ecal/scale"); err == nil {
+		t.Fatal("no snapshot, no cache — lookup should fail")
+	}
+}
+
+func TestServiceClientRecovers(t *testing.T) {
+	db := seedDB(t)
+	snap := db.Snapshot("v1", 42)
+	inj := faults.NewInjector(17)
+	flaky := &faults.FlakyResolver{Inner: conditions.DBResolver{DB: db}, Inj: inj}
+	c := conditions.NewServiceClient(flaky, "v1", 42, snap, conditions.ClientConfig{
+		Timeout: 5 * time.Millisecond,
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenInterval: time.Millisecond},
+	})
+	inj.FailNext("lookup", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Lookup(context.Background(), "ecal/scale"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Degraded() {
+		t.Fatal("breaker should be open")
+	}
+	// After the open interval, the next lookup is a probe; the fault
+	// schedule is spent, so it succeeds and the breaker re-closes.
+	time.Sleep(2 * time.Millisecond)
+	if _, err := c.Lookup(context.Background(), "ecal/scale"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Degraded() {
+		t.Fatal("breaker did not re-close after a successful probe")
+	}
+}
+
+// BenchmarkDegradedConditionsFallback quantifies the per-lookup cost of
+// serving conditions from the degradation path (open breaker → last-good
+// cache) against the healthy service path — the price of surviving a
+// conditions outage on the reconstruction hot path.
+func BenchmarkDegradedConditionsFallback(b *testing.B) {
+	db := seedDB(b)
+	snap := db.Snapshot("v1", 42)
+
+	b.Run("service", func(b *testing.B) {
+		c := newClient(b, conditions.DBResolver{DB: db}, snap, 3)
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Lookup(ctx, "ecal/scale"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("degraded", func(b *testing.B) {
+		inj := faults.NewInjector(19)
+		flaky := &faults.FlakyResolver{Inner: conditions.DBResolver{DB: db}, Inj: inj}
+		c := newClient(b, flaky, snap, 3)
+		ctx := context.Background()
+		// Warm the cache, then trip the breaker (open interval is 1h, so
+		// it stays open for the whole run).
+		if _, err := c.Lookup(ctx, "ecal/scale"); err != nil {
+			b.Fatal(err)
+		}
+		inj.FailNext("lookup", 3)
+		for i := 0; i < 3; i++ {
+			if _, err := c.Lookup(ctx, "ecal/scale"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !c.Degraded() {
+			b.Fatal("breaker not open")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Lookup(ctx, "ecal/scale"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("snapshot-direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.Lookup("ecal/scale"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package faults is the deterministic fault injector behind the chaos
+// tests: seed-driven error rates, latency, payload corruption, and
+// N-failures-then-succeed schedules, exposed as wrappers around the CAS
+// blob backend and the conditions resolver.
+//
+// Determinism is the point. The DPHEP framing of preservation as a
+// sustained-operations problem means the failure drills themselves must be
+// preservable: a chaos run is seeded through internal/xrand, so a failing
+// schedule replays bit-identically in CI and on a laptop years later —
+// the "routinely tested and shown to be effective" clause of the
+// Appendix-A level-5 disaster-recovery rating, made executable.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"daspos/internal/cas"
+	"daspos/internal/conditions"
+	"daspos/internal/resilience"
+	"daspos/internal/xrand"
+)
+
+// ErrInjected is the root of every injected fault; injected errors are
+// marked transient, since they model faults that heal (network blips,
+// brown-outs, scratched reads that succeed on retry).
+var ErrInjected = errors.New("faults: injected fault")
+
+// Outcome is the injector's decision for one operation.
+type Outcome struct {
+	// Err, when non-nil, is the transient fault the operation must fail
+	// with instead of running.
+	Err error
+	// Corrupt means the operation's payload should be bit-flipped.
+	Corrupt bool
+	// Latency is extra delay to impose before the operation proceeds.
+	Latency time.Duration
+}
+
+// InjectorStats counts injected behaviour.
+type InjectorStats struct {
+	Ops         uint64
+	Errors      uint64
+	Corruptions uint64
+}
+
+// Injector decides, operation by operation, which faults to inject. All
+// randomness flows from the seed, so a given (seed, op-sequence) pair
+// always injects the same schedule. Safe for concurrent use; concurrency
+// changes interleaving but tests that fix a single-goroutine op order are
+// fully reproducible.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *xrand.Rand
+	errorRate   float64
+	corruptRate float64
+	latency     time.Duration
+	failN       map[string]int
+	stats       InjectorStats
+}
+
+// NewInjector returns an injector with no faults configured, seeded for
+// reproducibility.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{rng: xrand.New(seed), failN: make(map[string]int)}
+}
+
+// WithErrorRate makes every operation fail with probability p.
+func (in *Injector) WithErrorRate(p float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.errorRate = p
+	return in
+}
+
+// WithCorruptRate makes every payload-bearing operation corrupt its bytes
+// with probability p.
+func (in *Injector) WithCorruptRate(p float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.corruptRate = p
+	return in
+}
+
+// WithLatency imposes a fixed delay on every operation.
+func (in *Injector) WithLatency(d time.Duration) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.latency = d
+	return in
+}
+
+// FailNext schedules the next n calls of the named operation to fail —
+// the N-failures-then-succeed pattern breaker and retry tests drive.
+func (in *Injector) FailNext(op string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failN[op] = n
+}
+
+// Decide returns the fault outcome for one named operation. The caller is
+// responsible for imposing Outcome.Latency (context-aware where possible).
+func (in *Injector) Decide(op string) Outcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Ops++
+	out := Outcome{Latency: in.latency}
+	if n := in.failN[op]; n > 0 {
+		in.failN[op] = n - 1
+		in.stats.Errors++
+		out.Err = resilience.MarkTransient(fmt.Errorf("%w: %s (scheduled)", ErrInjected, op))
+		return out
+	}
+	if in.errorRate > 0 && in.rng.Bool(in.errorRate) {
+		in.stats.Errors++
+		out.Err = resilience.MarkTransient(fmt.Errorf("%w: %s", ErrInjected, op))
+		return out
+	}
+	if in.corruptRate > 0 && in.rng.Bool(in.corruptRate) {
+		in.stats.Corruptions++
+		out.Corrupt = true
+	}
+	return out
+}
+
+// Stats snapshots the injection counters.
+func (in *Injector) Stats() InjectorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// CorruptBytes returns a copy of b with one byte flipped (b itself is
+// untouched). Empty input comes back empty.
+func CorruptBytes(b []byte) []byte {
+	cp := append([]byte(nil), b...)
+	if len(cp) > 0 {
+		cp[len(cp)/2] ^= 0xFF
+	}
+	return cp
+}
+
+// sleepCtx waits d or until the context dies, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// FlakyBackend wraps a cas.Backend with fault injection: reads and writes
+// can fail transiently or silently corrupt the bytes in flight — the
+// flaky-disk / flaky-network model the CAS replica fallback is built to
+// survive. Operation names for FailNext schedules: "put", "get".
+type FlakyBackend struct {
+	Inner cas.Backend
+	Inj   *Injector
+}
+
+var _ cas.Backend = (*FlakyBackend)(nil)
+
+// PutBlob implements cas.Backend with injected faults.
+func (f *FlakyBackend) PutBlob(digest string, comp []byte, logical int64) error {
+	out := f.Inj.Decide("put")
+	if out.Latency > 0 {
+		time.Sleep(out.Latency)
+	}
+	if out.Err != nil {
+		return out.Err
+	}
+	if out.Corrupt {
+		comp = CorruptBytes(comp)
+	}
+	return f.Inner.PutBlob(digest, comp, logical)
+}
+
+// GetBlob implements cas.Backend with injected faults.
+func (f *FlakyBackend) GetBlob(digest string) ([]byte, int64, error) {
+	out := f.Inj.Decide("get")
+	if out.Latency > 0 {
+		time.Sleep(out.Latency)
+	}
+	if out.Err != nil {
+		return nil, 0, out.Err
+	}
+	comp, logical, err := f.Inner.GetBlob(digest)
+	if err != nil {
+		return nil, 0, err
+	}
+	if out.Corrupt {
+		comp = CorruptBytes(comp)
+	}
+	return comp, logical, nil
+}
+
+// HasBlob implements cas.Backend (metadata ops stay reliable; the faults
+// modelled here live on the data path).
+func (f *FlakyBackend) HasBlob(digest string) bool { return f.Inner.HasBlob(digest) }
+
+// DeleteBlob implements cas.Backend.
+func (f *FlakyBackend) DeleteBlob(digest string) { f.Inner.DeleteBlob(digest) }
+
+// Digests implements cas.Backend.
+func (f *FlakyBackend) Digests() []string { return f.Inner.Digests() }
+
+// CorruptBlob forwards deliberate corruption to the inner backend when it
+// supports it, so chaos tests can combine injected flakiness with
+// targeted bit rot.
+func (f *FlakyBackend) CorruptBlob(digest string) error {
+	c, ok := f.Inner.(cas.Corrupter)
+	if !ok {
+		return fmt.Errorf("faults: inner backend %T does not support corruption", f.Inner)
+	}
+	return c.CorruptBlob(digest)
+}
+
+// FlakyResolver wraps a conditions.Resolver with outages and latency — the
+// conditions-service brown-out that ServiceClient degrades through.
+// Operation name for FailNext schedules: "lookup".
+type FlakyResolver struct {
+	Inner conditions.Resolver
+	Inj   *Injector
+}
+
+var _ conditions.Resolver = (*FlakyResolver)(nil)
+
+// Lookup implements conditions.Resolver with injected faults. Injected
+// latency respects the caller's deadline: a lookup slower than the
+// ServiceClient timeout surfaces as context.DeadlineExceeded, exactly like
+// a real stalled service.
+func (f *FlakyResolver) Lookup(ctx context.Context, folder, tag string, run uint32) (conditions.Payload, error) {
+	out := f.Inj.Decide("lookup")
+	if err := sleepCtx(ctx, out.Latency); err != nil {
+		return nil, err
+	}
+	if out.Err != nil {
+		return nil, out.Err
+	}
+	return f.Inner.Lookup(ctx, folder, tag, run)
+}

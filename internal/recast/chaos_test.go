@@ -1,0 +1,403 @@
+package recast
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"daspos/internal/faults"
+	"daspos/internal/leshouches"
+	"daspos/internal/resilience"
+)
+
+// Chaos drills for the request pipeline: with transient back-end faults
+// injected at up to 30%, every request must still reach a terminal state —
+// done after retries, or dead-lettered with its attempt history — and a
+// journal replay after a simulated crash must hand back exactly the work
+// that was in flight.
+
+// flakyStub is a cheap back end whose every Process call consults a fault
+// injector (op "process") before returning a canned result. Safe for
+// concurrent workers.
+type flakyStub struct {
+	inj   *faults.Injector
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *flakyStub) Name() string { return "stub" }
+
+func (s *flakyStub) Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	if s.inj != nil {
+		if out := s.inj.Decide("process"); out.Err != nil {
+			return nil, out.Err
+		}
+	}
+	return &Result{
+		Analysis: record.Name, BackEnd: "stub",
+		Generated: model.Events, Selected: model.Events / 2, Acceptance: 0.5,
+	}, nil
+}
+
+// newStubService wires a flakyStub behind a service with one subscription.
+func newStubService(t testing.TB, inj *faults.Injector) (*Service, *flakyStub) {
+	t.Helper()
+	stub := &flakyStub{inj: inj}
+	svc := NewService(stub)
+	if err := svc.Subscribe(Subscription{
+		Name:        "GPD_2013_DIMUON_HIGHMASS",
+		Description: "High-mass dimuon search",
+		Record:      highMassSearch(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return svc, stub
+}
+
+// fastPolicy is DefaultQueuePolicy with sleeps stubbed out so chaos runs
+// finish in microseconds; the schedule (attempt counts, classification) is
+// unchanged.
+func fastPolicy() resilience.Policy {
+	pol := DefaultQueuePolicy()
+	pol.Sleep = func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	return pol
+}
+
+func submitApproved(t testing.TB, svc *Service, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		req, err := svc.Submit("GPD_2013_DIMUON_HIGHMASS", fmt.Sprintf("theorist-%d", i), "", validModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Approve(req.ID); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, req.ID)
+	}
+	return ids
+}
+
+func TestChaosQueueEveryRequestReachesTerminalState(t *testing.T) {
+	const requests = 40
+	inj := faults.NewInjector(0x5EC457).WithErrorRate(0.3)
+	svc, _ := newStubService(t, inj)
+	ids := submitApproved(t, svc, requests)
+
+	q := NewQueueWith(context.Background(), svc, QueueConfig{Workers: 4, Policy: fastPolicy()})
+	for _, id := range ids {
+		if !q.Enqueue(id) {
+			t.Fatalf("enqueue %s refused", id)
+		}
+	}
+	q.Wait()
+
+	var done, failed int
+	for _, id := range ids {
+		req, err := svc.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch req.Status {
+		case StatusDone:
+			done++
+			if req.Result == nil {
+				t.Errorf("%s done without result", id)
+			}
+		case StatusFailed:
+			failed++
+			// A dead-lettered request carries its full attempt history.
+			if len(req.Attempts) != fastPolicy().MaxAttempts {
+				t.Errorf("%s dead-lettered with %d attempts, want %d",
+					id, len(req.Attempts), fastPolicy().MaxAttempts)
+			}
+			for _, at := range req.Attempts {
+				if at.Class != "transient" || at.Error == "" {
+					t.Errorf("%s attempt %d: class=%q error=%q", id, at.N, at.Class, at.Error)
+				}
+			}
+			if !strings.Contains(req.Reason, "injected fault") {
+				t.Errorf("%s reason does not name the fault: %q", id, req.Reason)
+			}
+		default:
+			t.Errorf("%s stuck in non-terminal state %s", id, req.Status)
+		}
+	}
+	if done == 0 {
+		t.Fatal("no request succeeded under 30% faults — retry is not retrying")
+	}
+	st := inj.Stats()
+	if st.Errors == 0 {
+		t.Fatal("chaos run injected no faults — test is vacuous")
+	}
+	t.Logf("chaos: %d done, %d dead-lettered, %d injected faults over %d ops",
+		done, failed, st.Errors, st.Ops)
+}
+
+func TestRetryRecoversScheduledFaults(t *testing.T) {
+	// Exactly MaxAttempts-1 scheduled failures: the last attempt succeeds,
+	// and the request records the whole history.
+	inj := faults.NewInjector(1)
+	svc, _ := newStubService(t, inj)
+	id := submitApproved(t, svc, 1)[0]
+	pol := fastPolicy()
+	inj.FailNext("process", pol.MaxAttempts-1)
+
+	req, err := svc.ProcessWithPolicy(context.Background(), id, pol)
+	if err != nil {
+		t.Fatalf("request should have recovered: %v", err)
+	}
+	if req.Status != StatusDone {
+		t.Fatalf("status = %s, want done", req.Status)
+	}
+	if len(req.Attempts) != pol.MaxAttempts {
+		t.Fatalf("attempts = %d, want %d", len(req.Attempts), pol.MaxAttempts)
+	}
+	last := req.Attempts[len(req.Attempts)-1]
+	if last.Error != "" || last.Class != "" {
+		t.Fatalf("final attempt should be clean: %+v", last)
+	}
+}
+
+func TestPermanentErrorDeadLettersFirstStrike(t *testing.T) {
+	svc := NewService(permanentBackend{})
+	if err := svc.Subscribe(Subscription{
+		Name: "A", Description: "d", Record: highMassSearch(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := svc.Submit("A", "r", "", validModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Approve(req.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.ProcessWithPolicy(context.Background(), req.ID, fastPolicy())
+	if err == nil {
+		t.Fatal("permanent failure reported success")
+	}
+	if got.Status != StatusFailed || len(got.Attempts) != 1 {
+		t.Fatalf("want one-strike dead letter, got status=%s attempts=%d",
+			got.Status, len(got.Attempts))
+	}
+	if got.Attempts[0].Class != "permanent" {
+		t.Fatalf("attempt class = %q, want permanent", got.Attempts[0].Class)
+	}
+}
+
+type permanentBackend struct{}
+
+func (permanentBackend) Name() string { return "perm" }
+func (permanentBackend) Process(ModelSpec, *leshouches.AnalysisRecord) (*Result, error) {
+	return nil, resilience.MarkPermanent(errors.New("model outside preserved phase space"))
+}
+
+func TestQueueCancellationLeavesWorkInFlight(t *testing.T) {
+	inj := faults.NewInjector(2)
+	svc, _ := newStubService(t, inj)
+	ids := submitApproved(t, svc, 8)
+
+	// A back end that blocks until cancelled, so every picked-up job is
+	// mid-attempt when the pool dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	blocking := &blockingBackend{release: ctx.Done()}
+	svc.backend = blocking
+
+	q := NewQueueWith(ctx, svc, QueueConfig{Workers: 2, Policy: fastPolicy()})
+	for _, id := range ids {
+		q.Enqueue(id)
+	}
+	blocking.waitStarted(2)
+	cancel()
+	results := q.Wait()
+
+	// Every request is either still approved (in flight or never picked
+	// up) — never half-transitioned — and the queue reports the
+	// cancellation.
+	for _, id := range ids {
+		req, err := svc.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Status != StatusApproved {
+			t.Errorf("%s left in %s after cancellation, want approved", id, req.Status)
+		}
+	}
+	var cancelled int
+	for _, err := range results {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job reported the cancellation")
+	}
+}
+
+// blockingBackend parks Process until the release channel closes, then
+// reports the cancellation as the context error would.
+type blockingBackend struct {
+	release <-chan struct{}
+	mu      sync.Mutex
+	started int
+}
+
+func (b *blockingBackend) Name() string { return "blocking" }
+
+func (b *blockingBackend) Process(ModelSpec, *leshouches.AnalysisRecord) (*Result, error) {
+	b.mu.Lock()
+	b.started++
+	b.mu.Unlock()
+	<-b.release
+	return nil, context.Canceled
+}
+
+func (b *blockingBackend) waitStarted(n int) {
+	for {
+		b.mu.Lock()
+		s := b.started
+		b.mu.Unlock()
+		if s >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJournalRecoversInFlightWorkAfterCrash(t *testing.T) {
+	inj := faults.NewInjector(3)
+	svc, _ := newStubService(t, inj)
+	var journal bytes.Buffer
+	svc.SetJournal(&journal)
+
+	ids := submitApproved(t, svc, 5)
+	// Two complete, one dead-letters, two stay in flight — then the
+	// process "crashes" with the journal as the only survivor.
+	if _, err := svc.Process(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Process(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailNext("process", 10)
+	if _, err := svc.ProcessWithPolicy(context.Background(), ids[2], fastPolicy()); err == nil {
+		t.Fatal("expected dead letter")
+	}
+	if err := svc.JournalErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-truncated tail: the final line is cut mid-write.
+	data := journal.Bytes()
+	truncated := append(append([]byte(nil), data...), []byte(`{"id":"req-0000`)...)
+
+	restored, _ := newStubService(t, faults.NewInjector(4))
+	inflight, err := restored.ReplayJournal(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatalf("replay rejected a crash-truncated journal: %v", err)
+	}
+	if len(inflight) != 2 || inflight[0] != ids[3] || inflight[1] != ids[4] {
+		t.Fatalf("inflight = %v, want [%s %s]", inflight, ids[3], ids[4])
+	}
+
+	// Terminal states and histories survived.
+	for _, id := range ids[:2] {
+		req, err := restored.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Status != StatusDone || req.Result == nil {
+			t.Fatalf("%s lost its result: status=%s", id, req.Status)
+		}
+	}
+	dead, err := restored.Get(ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Status != StatusFailed || len(dead.Attempts) != fastPolicy().MaxAttempts {
+		t.Fatalf("dead letter lost history: status=%s attempts=%d", dead.Status, len(dead.Attempts))
+	}
+
+	// The recovered in-flight work re-enqueues and completes.
+	q := NewQueueWith(context.Background(), restored, QueueConfig{Workers: 2, Policy: fastPolicy()})
+	for _, id := range inflight {
+		if !q.Enqueue(id) {
+			t.Fatalf("re-enqueue %s refused", id)
+		}
+	}
+	q.Wait()
+	for _, id := range inflight {
+		req, err := restored.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Status != StatusDone {
+			t.Fatalf("recovered %s ended %s, want done", id, req.Status)
+		}
+	}
+
+	// New submissions do not collide with replayed IDs.
+	fresh, err := restored.Submit("GPD_2013_DIMUON_HIGHMASS", "r", "", validModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if fresh.ID == id {
+			t.Fatalf("post-replay submission reused ID %s", id)
+		}
+	}
+}
+
+func TestReplayJournalRejectsMidStreamCorruption(t *testing.T) {
+	svc, _ := newStubService(t, nil)
+	var journal bytes.Buffer
+	svc.SetJournal(&journal)
+	submitApproved(t, svc, 2)
+
+	lines := strings.SplitAfter(journal.String(), "\n")
+	// Corrupt a line that is NOT the last — real damage, not a crash tail.
+	corrupted := "{broken json\n" + strings.Join(lines[1:], "")
+	restored, _ := newStubService(t, nil)
+	if _, err := restored.ReplayJournal(strings.NewReader(corrupted)); err == nil {
+		t.Fatal("mid-stream corruption accepted")
+	}
+}
+
+func BenchmarkRecastRetryOverhead(b *testing.B) {
+	// Cost of the retry wrapper on the happy path: Process vs
+	// ProcessWithPolicy with a back end that never fails.
+	setup := func(b *testing.B, n int) (*Service, []string) {
+		svc, _ := newStubService(b, nil)
+		return svc, submitApproved(b, svc, n)
+	}
+	b.Run("process-direct", func(b *testing.B) {
+		svc, ids := setup(b, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Process(ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("process-with-policy", func(b *testing.B) {
+		svc, ids := setup(b, b.N)
+		pol := DefaultQueuePolicy()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.ProcessWithPolicy(ctx, ids[i], pol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

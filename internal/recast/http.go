@@ -2,11 +2,13 @@ package recast
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // The HTTP front end. Routes:
@@ -146,19 +148,45 @@ func statusFor(err error) int {
 	}
 }
 
+// DefaultClientTimeout bounds front-end calls when the caller configures
+// nothing: long enough for a synchronous back-end run, short enough that a
+// hung service cannot wedge a requester forever.
+const DefaultClientTimeout = 30 * time.Second
+
 // Client is a Go client for the front end, as a requester or as the
-// experiment (set Experiment to send the role header).
+// experiment (set Experiment to send the role header). Every call runs
+// under Timeout (DefaultClientTimeout when zero) unless a custom HTTP
+// client is supplied, and accepts a context for caller-side cancellation.
 type Client struct {
-	BaseURL    string
-	HTTP       *http.Client
+	BaseURL string
+	// HTTP overrides the transport entirely; when set, Timeout is the
+	// caller's responsibility.
+	HTTP *http.Client
+	// Timeout bounds each call of the default transport. Zero means
+	// DefaultClientTimeout; negative means no timeout.
+	Timeout    time.Duration
 	Experiment bool
 }
 
-func (c *Client) do(method, path string, body, out interface{}) error {
-	hc := c.HTTP
-	if hc == nil {
-		hc = http.DefaultClient
+// httpClient returns the transport, defaulting to one with a timeout —
+// the bare http.DefaultClient has none, and a stuck front end would hang
+// the requester with it.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
 	}
+	timeout := c.Timeout
+	switch {
+	case timeout == 0:
+		timeout = DefaultClientTimeout
+	case timeout < 0:
+		timeout = 0
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	hc := c.httpClient()
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -167,7 +195,10 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 		}
 		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
@@ -207,15 +238,25 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 
 // Analyses fetches the public catalogue.
 func (c *Client) Analyses() ([]AnalysisInfo, error) {
+	return c.AnalysesCtx(context.Background())
+}
+
+// AnalysesCtx is Analyses under a caller-supplied context.
+func (c *Client) AnalysesCtx(ctx context.Context) ([]AnalysisInfo, error) {
 	var out []AnalysisInfo
-	err := c.do(http.MethodGet, "/analyses", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/analyses", nil, &out)
 	return out, err
 }
 
 // Submit files a request and returns its server-side record.
 func (c *Client) Submit(analysis, requester, motivation string, model ModelSpec) (*Request, error) {
+	return c.SubmitCtx(context.Background(), analysis, requester, motivation, model)
+}
+
+// SubmitCtx is Submit under a caller-supplied context.
+func (c *Client) SubmitCtx(ctx context.Context, analysis, requester, motivation string, model ModelSpec) (*Request, error) {
 	var out Request
-	err := c.do(http.MethodPost, "/requests", submitBody{
+	err := c.do(ctx, http.MethodPost, "/requests", submitBody{
 		Analysis: analysis, Requester: requester, Motivation: motivation, Model: model,
 	}, &out)
 	if err != nil {
@@ -226,8 +267,13 @@ func (c *Client) Submit(analysis, requester, motivation string, model ModelSpec)
 
 // Get polls a request.
 func (c *Client) Get(id string) (*Request, error) {
+	return c.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get under a caller-supplied context.
+func (c *Client) GetCtx(ctx context.Context, id string) (*Request, error) {
 	var out Request
-	if err := c.do(http.MethodGet, "/requests/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/requests/"+id, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -235,19 +281,34 @@ func (c *Client) Get(id string) (*Request, error) {
 
 // Approve approves a request (experiment role).
 func (c *Client) Approve(id string) error {
-	return c.do(http.MethodPost, "/requests/"+id+"/approve", nil, nil)
+	return c.ApproveCtx(context.Background(), id)
+}
+
+// ApproveCtx is Approve under a caller-supplied context.
+func (c *Client) ApproveCtx(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/requests/"+id+"/approve", nil, nil)
 }
 
 // Reject rejects a request with a reason (experiment role).
 func (c *Client) Reject(id, reason string) error {
-	return c.do(http.MethodPost, "/requests/"+id+"/reject", map[string]string{"reason": reason}, nil)
+	return c.RejectCtx(context.Background(), id, reason)
+}
+
+// RejectCtx is Reject under a caller-supplied context.
+func (c *Client) RejectCtx(ctx context.Context, id, reason string) error {
+	return c.do(ctx, http.MethodPost, "/requests/"+id+"/reject", map[string]string{"reason": reason}, nil)
 }
 
 // ProcessRequest triggers back-end processing (experiment role) and
 // returns the completed request.
 func (c *Client) ProcessRequest(id string) (*Request, error) {
+	return c.ProcessRequestCtx(context.Background(), id)
+}
+
+// ProcessRequestCtx is ProcessRequest under a caller-supplied context.
+func (c *Client) ProcessRequestCtx(ctx context.Context, id string) (*Request, error) {
 	var out Request
-	if err := c.do(http.MethodPost, "/requests/"+id+"/process", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/requests/"+id+"/process", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,9 +1,11 @@
 package recast
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -70,4 +72,115 @@ func parseRequestID(id string) (int, bool) {
 		return 0, false
 	}
 	return n, true
+}
+
+// Crash-safe journaling. The ledger dump above is a checkpoint: it
+// captures the service at one instant, and everything after is lost with
+// the process. The journal closes that gap — an append-only stream of
+// request snapshots, one JSON line per mutation (submit, approve, reject,
+// attempt, terminal transition). Replay is last-write-wins per request, so
+// a journal truncated mid-line by a crash still restores every completed
+// write, and requests that were approved but unfinished when the worker
+// pool died come back as in-flight work to re-enqueue.
+
+// AppendJournal writes one request snapshot as a journal line.
+func AppendJournal(w io.Writer, req *Request) error {
+	line, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = w.Write(line)
+	return err
+}
+
+// SetJournal installs an append-only journal sink: every subsequent
+// request mutation appends one snapshot line. Pass nil to stop journaling.
+// The caller owns the writer's durability (flushing, fsync).
+func (s *Service) SetJournal(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = w
+	s.journalErr = nil
+}
+
+// JournalErr returns the first journal write failure since SetJournal, if
+// any. Journaling is best-effort on the hot path; operators poll this.
+func (s *Service) JournalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journalErr
+}
+
+// appendJournalLocked journals one request mutation; callers hold s.mu.
+func (s *Service) appendJournalLocked(req *Request) {
+	if s.journal == nil {
+		return
+	}
+	if err := AppendJournal(s.journal, req); err != nil && s.journalErr == nil {
+		s.journalErr = err
+	}
+}
+
+// ReplayJournal restores a journal into an empty service and returns the
+// IDs that were still in flight (approved, not yet terminal) when the
+// journal ended — the work a restarted pool re-enqueues. A final line cut
+// short by the crash is tolerated; any other malformed input is an error.
+func (s *Service) ReplayJournal(r io.Reader) (inflight []string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.requests) > 0 {
+		return nil, fmt.Errorf("recast: service already holds %d requests", len(s.requests))
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	latest := make(map[string]*Request)
+	var lineNo int
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// A malformed line followed by more data is real corruption,
+			// not a crash-truncated tail.
+			return nil, pendingErr
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req Request
+		if jerr := json.Unmarshal([]byte(line), &req); jerr != nil {
+			pendingErr = fmt.Errorf("recast: journal line %d: %w", lineNo, jerr)
+			continue
+		}
+		if req.ID == "" {
+			return nil, fmt.Errorf("recast: journal line %d: request without ID", lineNo)
+		}
+		switch req.Status {
+		case StatusSubmitted, StatusApproved, StatusRejected, StatusDone, StatusFailed:
+		default:
+			return nil, fmt.Errorf("recast: journal line %d: unknown status %q", lineNo, req.Status)
+		}
+		latest[req.ID] = &req
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, fmt.Errorf("recast: reading journal: %w", serr)
+	}
+	maxID := 0
+	ids := make([]string, 0, len(latest))
+	for id, req := range latest {
+		s.requests[id] = cloneRequest(req)
+		if n, ok := parseRequestID(id); ok && n > maxID {
+			maxID = n
+		}
+		ids = append(ids, id)
+	}
+	s.nextID = maxID
+	sort.Strings(ids)
+	for _, id := range ids {
+		if s.requests[id].Status == StatusApproved {
+			inflight = append(inflight, id)
+		}
+	}
+	return inflight, nil
 }

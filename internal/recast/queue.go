@@ -1,32 +1,87 @@
 package recast
 
 import (
+	"context"
 	"sync"
+	"time"
+
+	"daspos/internal/resilience"
 )
 
 // Queue runs approved requests through the back end with a fixed worker
 // pool: the "computing back-end" whose capacity the experiment provisions.
+// Each job runs under the queue's retry policy, so a transient back-end
+// fault retries with backoff instead of dead-lettering the request, and
+// the whole pool drains promptly when its context is cancelled — requests
+// caught mid-flight stay approved and are recoverable from the journal.
 type Queue struct {
-	svc     *Service
-	jobs    chan string
-	wg      sync.WaitGroup
-	mu      sync.Mutex
+	svc    *Service
+	ctx    context.Context
+	policy resilience.Policy
+	jobs   chan string
+	wg     sync.WaitGroup
+
+	// intake guards closed and, via its read side, in-flight Enqueue
+	// sends: Wait takes the write lock, so intake can only close while no
+	// send is in progress — no send-on-closed-channel race.
+	intake sync.RWMutex
+	closed bool
+
+	resMu   sync.Mutex
 	results map[string]error
-	closed  bool
 }
 
-// NewQueue starts workers processing enqueued request IDs. Close the queue
-// with Wait after the last Enqueue.
+// QueueConfig tunes a worker pool.
+type QueueConfig struct {
+	// Workers is the pool size. Values < 1 mean 1.
+	Workers int
+	// Policy is the per-job retry schedule. The zero value means one
+	// attempt, no retry — resilience off.
+	Policy resilience.Policy
+	// Buffer is the intake channel depth. Values < 1 mean 64.
+	Buffer int
+}
+
+// DefaultQueuePolicy is the per-job retry schedule production pools run
+// under: a few capped, jittered attempts. Only transient failures retry;
+// physics or validation errors dead-letter on the first strike.
+func DefaultQueuePolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Jitter:      0.2,
+	}
+}
+
+// NewQueue starts workers processing enqueued request IDs with no retry
+// policy (one attempt per job). Close the queue with Wait after the last
+// Enqueue.
 func NewQueue(svc *Service, workers int) *Queue {
-	if workers < 1 {
-		workers = 1
+	return NewQueueWith(context.Background(), svc, QueueConfig{Workers: workers})
+}
+
+// NewQueueWith starts a worker pool under a context: cancelling it stops
+// intake and drains the workers, leaving unprocessed requests approved
+// (in flight) for journal recovery.
+func NewQueueWith(ctx context.Context, svc *Service, cfg QueueConfig) *Queue {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Buffer < 1 {
+		cfg.Buffer = 64
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	q := &Queue{
 		svc:     svc,
-		jobs:    make(chan string, 64),
+		ctx:     ctx,
+		policy:  cfg.Policy,
+		jobs:    make(chan string, cfg.Buffer),
 		results: make(map[string]error),
 	}
-	for i := 0; i < workers; i++ {
+	for i := 0; i < cfg.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
 	}
@@ -35,39 +90,57 @@ func NewQueue(svc *Service, workers int) *Queue {
 
 func (q *Queue) worker() {
 	defer q.wg.Done()
-	for id := range q.jobs {
-		_, err := q.svc.Process(id)
-		q.mu.Lock()
-		q.results[id] = err
-		q.mu.Unlock()
+	for {
+		select {
+		case <-q.ctx.Done():
+			return
+		case id, ok := <-q.jobs:
+			if !ok {
+				return
+			}
+			_, err := q.svc.ProcessWithPolicy(q.ctx, id, q.policy)
+			q.resMu.Lock()
+			q.results[id] = err
+			q.resMu.Unlock()
+		}
 	}
 }
 
 // Enqueue schedules an approved request. It reports false once the queue
-// has been closed.
+// has been closed or its context cancelled.
 func (q *Queue) Enqueue(id string) bool {
-	q.mu.Lock()
+	q.intake.RLock()
+	defer q.intake.RUnlock()
 	if q.closed {
-		q.mu.Unlock()
 		return false
 	}
-	q.mu.Unlock()
-	q.jobs <- id
-	return true
+	select {
+	case q.jobs <- id:
+		return true
+	case <-q.ctx.Done():
+		return false
+	}
 }
 
-// Wait closes intake and blocks until all enqueued work is finished,
-// returning per-request errors.
+// Wait closes intake and blocks until all enqueued work is finished (or
+// the context is cancelled), returning per-request errors. Jobs that were
+// still queued at cancellation are reported with the context's error.
 func (q *Queue) Wait() map[string]error {
-	q.mu.Lock()
+	q.intake.Lock()
 	if !q.closed {
 		q.closed = true
 		close(q.jobs)
 	}
-	q.mu.Unlock()
+	q.intake.Unlock()
 	q.wg.Wait()
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.resMu.Lock()
+	defer q.resMu.Unlock()
+	// After cancellation, drain what the workers never picked up.
+	for id := range q.jobs {
+		if _, done := q.results[id]; !done {
+			q.results[id] = q.ctx.Err()
+		}
+	}
 	out := make(map[string]error, len(q.results))
 	for k, v := range q.results {
 		out[k] = v

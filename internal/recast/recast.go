@@ -16,8 +16,10 @@
 package recast
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -28,6 +30,7 @@ import (
 	"daspos/internal/leshouches"
 	"daspos/internal/rawdata"
 	"daspos/internal/reco"
+	"daspos/internal/resilience"
 	"daspos/internal/sim"
 )
 
@@ -105,6 +108,18 @@ func (r *Result) ApplyExclusion(model ModelSpec, luminosityPb float64) {
 	r.Excluded = r.PredictedEvents > r.UpperLimitEvents
 }
 
+// Attempt is one back-end processing try, kept on the request so a
+// dead-lettered failure carries its full history for the operator.
+type Attempt struct {
+	// N is the 1-based attempt number.
+	N int `json:"n"`
+	// Error is the attempt's failure, empty on success.
+	Error string `json:"error,omitempty"`
+	// Class is the resilience classification of the failure
+	// (transient/permanent/unknown), empty on success.
+	Class string `json:"class,omitempty"`
+}
+
 // Request is one reinterpretation request.
 type Request struct {
 	ID        string `json:"id"`
@@ -117,6 +132,9 @@ type Request struct {
 	// Reason documents a rejection or failure.
 	Reason string  `json:"reason,omitempty"`
 	Result *Result `json:"result,omitempty"`
+	// Attempts is the back-end processing history: one entry per try,
+	// the audit trail behind a dead-lettered (failed) request.
+	Attempts []Attempt `json:"attempts,omitempty"`
 }
 
 // Subscription is an analysis the experiment offers for reinterpretation.
@@ -153,6 +171,10 @@ type Service struct {
 	subs     map[string]Subscription
 	requests map[string]*Request
 	nextID   int
+	// journal, when set, receives an append-only record of every request
+	// mutation (see persist.go); journalErr keeps the first write failure.
+	journal    io.Writer
+	journalErr error
 }
 
 // NewService returns a service over the given back end.
@@ -222,6 +244,7 @@ func (s *Service) Submit(analysis, requester, motivation string, model ModelSpec
 		Status:     StatusSubmitted,
 	}
 	s.requests[req.ID] = req
+	s.appendJournalLocked(req)
 	return cloneRequest(req), nil
 }
 
@@ -271,22 +294,30 @@ func (s *Service) transition(id string, from, to Status, reason string) error {
 	}
 	req.Status = to
 	req.Reason = reason
+	s.appendJournalLocked(req)
 	return nil
 }
 
-// Process runs the back end for an approved request and stores the result.
-// Processing is synchronous; the HTTP layer exposes it behind the
-// experiment role, and the Queue type runs it from workers.
-func (s *Service) Process(id string) (*Request, error) {
+// gateError reports whether the error is a front-door rejection (missing
+// or not-approved request) rather than a back-end failure.
+func gateError(err error) bool {
+	return errors.Is(err, ErrNoRequest) || errors.Is(err, ErrNotApproved)
+}
+
+// processOnce runs one back-end attempt for an approved request and
+// appends it to the request's attempt history — without deciding the
+// request's fate. The caller (Process for one-shot, ProcessWithPolicy for
+// retried) owns the terminal transition.
+func (s *Service) processOnce(id string) (*Result, error) {
 	s.mu.Lock()
 	req, ok := s.requests[id]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrNoRequest, id)
+		return nil, resilience.MarkPermanent(fmt.Errorf("%w: %s", ErrNoRequest, id))
 	}
 	if req.Status != StatusApproved {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s is %s", ErrNotApproved, id, req.Status)
+		return nil, resilience.MarkPermanent(fmt.Errorf("%w: %s is %s", ErrNotApproved, id, req.Status))
 	}
 	sub := s.subs[req.Analysis]
 	model := req.Model
@@ -297,14 +328,78 @@ func (s *Service) Process(id string) (*Request, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	at := Attempt{N: len(req.Attempts) + 1}
+	if err != nil {
+		at.Error = err.Error()
+		at.Class = resilience.Classify(err).String()
+	}
+	req.Attempts = append(req.Attempts, at)
+	s.appendJournalLocked(req)
+	return res, err
+}
+
+// finish applies the terminal transition after the last attempt.
+func (s *Service) finish(id string, res *Result, err error) (*Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req, ok := s.requests[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRequest, id)
+	}
 	if err != nil {
 		req.Status = StatusFailed
 		req.Reason = err.Error()
+		s.appendJournalLocked(req)
 		return cloneRequest(req), err
 	}
 	req.Status = StatusDone
 	req.Result = res
+	s.appendJournalLocked(req)
 	return cloneRequest(req), nil
+}
+
+// Process runs the back end once for an approved request and stores the
+// result; any failure is terminal. Processing is synchronous; the HTTP
+// layer exposes it behind the experiment role, and the Queue type runs it
+// from workers (with a retry policy — see ProcessWithPolicy).
+func (s *Service) Process(id string) (*Request, error) {
+	res, err := s.processOnce(id)
+	if err != nil && gateError(err) {
+		return nil, err
+	}
+	return s.finish(id, res, err)
+}
+
+// ProcessWithPolicy runs the back end for an approved request under a
+// retry policy: transient failures back off and retry, and only
+// exhaustion (or a permanent/unclassified error) dead-letters the request
+// to StatusFailed with its attempt history attached. Context cancellation
+// leaves the request approved — in flight — so a journal replay after a
+// crash or shutdown can recover and re-enqueue it.
+func (s *Service) ProcessWithPolicy(ctx context.Context, id string, pol resilience.Policy) (*Request, error) {
+	var res *Result
+	err := resilience.Retry(ctx, pol, func(context.Context) error {
+		r, rerr := s.processOnce(id)
+		if rerr == nil {
+			res = r
+		}
+		return rerr
+	})
+	if err != nil {
+		if gateError(err) {
+			return nil, err
+		}
+		// Retry reports outer-context death as a bare context error (an
+		// *ExhaustedError means the attempt budget ran out, which is a
+		// real failure even when the last attempt hit a deadline).
+		var ex *resilience.ExhaustedError
+		if !errors.As(err, &ex) &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Shutdown, not failure: leave the request in flight.
+			return nil, err
+		}
+	}
+	return s.finish(id, res, err)
 }
 
 func cloneRequest(r *Request) *Request {
@@ -314,6 +409,7 @@ func cloneRequest(r *Request) *Request {
 		rc.CutFlow = append([]int(nil), r.Result.CutFlow...)
 		cp.Result = &rc
 	}
+	cp.Attempts = append([]Attempt(nil), r.Attempts...)
 	return &cp
 }
 

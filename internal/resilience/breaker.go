@@ -1,0 +1,219 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's admission mode.
+type BreakerState int
+
+const (
+	// Closed admits every call; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open rejects every call until the open interval elapses.
+	Open
+	// HalfOpen admits a limited number of probe calls; their outcome
+	// decides between re-closing and re-opening.
+	HalfOpen
+)
+
+// String renders the state for logs and status reports.
+func (s BreakerState) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// ErrOpen is returned (wrapped, transient) when the breaker rejects a call.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig tunes a Breaker. The zero value gets sane defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker. Values < 1 mean 5.
+	FailureThreshold int
+	// OpenInterval is how long the breaker stays open before admitting a
+	// half-open probe. Values <= 0 mean 1s.
+	OpenInterval time.Duration
+	// ProbeSuccesses is how many consecutive half-open probes must
+	// succeed to re-close. Values < 1 mean 1.
+	ProbeSuccesses int
+	// MaxProbes bounds concurrent half-open probes. Values < 1 mean 1.
+	MaxProbes int
+	// Now is a test hook for the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a circuit breaker: closed → open after FailureThreshold
+// consecutive failures, open → half-open after OpenInterval, half-open →
+// closed after ProbeSuccesses successful probes (or back to open on any
+// probe failure). Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu            sync.Mutex
+	state         BreakerState
+	failures      int // consecutive failures while closed
+	probeSuccess  int // consecutive successes while half-open
+	probesInUse   int // admitted, unreported probes while half-open
+	openedAt      time.Time
+	opens         uint64 // lifetime count of closed/half-open → open trips
+	rejected      uint64 // calls rejected while open
+	totalFailures uint64
+	totalSuccess  uint64
+}
+
+// NewBreaker returns a breaker with the given config (zero fields get
+// defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold < 1 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenInterval <= 0 {
+		cfg.OpenInterval = time.Second
+	}
+	if cfg.ProbeSuccesses < 1 {
+		cfg.ProbeSuccesses = 1
+	}
+	if cfg.MaxProbes < 1 {
+		cfg.MaxProbes = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed, admitting probes when the open
+// interval has elapsed. Every admitted call must be reported back through
+// Success or Failure, or half-open probe slots leak.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenInterval {
+			b.rejected++
+			return false
+		}
+		// Open interval elapsed: become half-open and admit this call
+		// as the first probe.
+		b.state = HalfOpen
+		b.probeSuccess = 0
+		b.probesInUse = 1
+		return true
+	default: // HalfOpen
+		if b.probesInUse >= b.cfg.MaxProbes {
+			b.rejected++
+			return false
+		}
+		b.probesInUse++
+		return true
+	}
+}
+
+// Success reports a successful call.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.totalSuccess++
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		if b.probesInUse > 0 {
+			b.probesInUse--
+		}
+		b.probeSuccess++
+		if b.probeSuccess >= b.cfg.ProbeSuccesses {
+			b.state = Closed
+			b.failures = 0
+			b.probeSuccess = 0
+			b.probesInUse = 0
+		}
+	}
+}
+
+// Failure reports a failed call.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.totalFailures++
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		// A failed probe re-opens immediately.
+		b.trip()
+	}
+}
+
+// trip moves to Open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Now()
+	b.opens++
+	b.failures = 0
+	b.probeSuccess = 0
+	b.probesInUse = 0
+}
+
+// Record forwards an operation outcome: nil counts as success, anything
+// else as failure.
+func (b *Breaker) Record(err error) {
+	if err == nil {
+		b.Success()
+	} else {
+		b.Failure()
+	}
+}
+
+// State returns the current admission mode (Open may lazily read as Open
+// even when the next Allow would admit a probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is a point-in-time counters snapshot.
+type BreakerStats struct {
+	State     BreakerState
+	Opens     uint64 // times the breaker tripped open
+	Rejected  uint64 // calls rejected while open / probe-saturated
+	Failures  uint64
+	Successes uint64
+}
+
+// Stats snapshots the lifetime counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State: b.state, Opens: b.opens, Rejected: b.rejected,
+		Failures: b.totalFailures, Successes: b.totalSuccess,
+	}
+}
+
+// Do guards op with the breaker: rejected calls return ErrOpen (marked
+// transient — the service may recover), admitted calls are recorded.
+func (b *Breaker) Do(op func() error) error {
+	if !b.Allow() {
+		return MarkTransient(ErrOpen)
+	}
+	err := op()
+	b.Record(err)
+	return err
+}

@@ -1,0 +1,264 @@
+// Package resilience provides the failure-handling primitives the
+// preservation services share: an error taxonomy (transient vs permanent),
+// context-aware retry with exponential backoff and deterministic jitter,
+// per-attempt deadlines, and a circuit breaker with probe admission.
+//
+// Preservation is a sustained-operations problem, not a one-shot copy: the
+// Appendix-A maturity tables rate experiments on *surviving* failure
+// ("disaster recovery plans are routinely tested and shown to be
+// effective"), and the ROADMAP's production-scale north star means every
+// cross-service call — replica copies, conditions lookups, RECAST back-end
+// runs — must assume the other side can be slow, down, or lying. The
+// policies here are deterministic on purpose: jitter is drawn from a
+// seeded xrand stream so chaos tests replay bit-identically.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"daspos/internal/xrand"
+)
+
+// Class partitions errors by how a caller should react.
+type Class int
+
+const (
+	// Unknown is an unclassified error: the policy decides whether to
+	// retry it (Policy.RetryUnknown).
+	Unknown Class = iota
+	// Transient errors are expected to heal on their own: timeouts,
+	// dropped connections, injected faults. Retrying is worthwhile.
+	Transient
+	// Permanent errors will not improve with repetition: validation
+	// failures, missing packages, fixity mismatches on the only copy.
+	Permanent
+)
+
+// String renders the class for logs and attempt histories.
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	default:
+		return "unknown"
+	}
+}
+
+// classified wraps an error with its class while preserving the chain.
+type classified struct {
+	err   error
+	class Class
+}
+
+func (c *classified) Error() string { return c.err.Error() }
+func (c *classified) Unwrap() error { return c.err }
+
+// MarkTransient tags an error as transient. A nil error stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: Transient}
+}
+
+// MarkPermanent tags an error as permanent. A nil error stays nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: Permanent}
+}
+
+// Classify returns the innermost explicit class in the error chain.
+// Context cancellation and deadline expiry classify as transient: the
+// operation may succeed under a fresh deadline, and the retry loop itself
+// stops when its own context is done.
+func Classify(err error) Class {
+	if err == nil {
+		return Unknown
+	}
+	var c *classified
+	if errors.As(err, &c) {
+		return c.class
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return Transient
+	}
+	return Unknown
+}
+
+// IsTransient reports whether the error is explicitly transient (or a
+// deadline/cancellation, which retry under a fresh attempt may cure).
+func IsTransient(err error) bool { return Classify(err) == Transient }
+
+// IsPermanent reports whether the error is explicitly permanent.
+func IsPermanent(err error) bool { return Classify(err) == Permanent }
+
+// Policy describes a retry schedule. The zero value is usable: it means
+// one attempt, no backoff — resilience off.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Values < 1 behave as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means uncapped.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts; values <= 1 mean 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized, in [0, 1]: the
+	// delay becomes d*(1-Jitter) + d*Jitter*2*u for uniform u — full
+	// jitter at 1, none at 0. Deterministic via Seed.
+	Jitter float64
+	// Seed seeds the jitter stream so schedules replay exactly.
+	Seed uint64
+	// AttemptTimeout bounds each attempt with its own deadline; 0 means
+	// the attempt inherits the caller's context unchanged.
+	AttemptTimeout time.Duration
+	// RetryUnknown retries unclassified errors too. Off by default so a
+	// policy never loops on validation errors nobody thought to mark.
+	RetryUnknown bool
+	// Sleep is a test hook replacing the real inter-attempt sleep. It
+	// must honour ctx cancellation. Nil means a timer-backed sleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes each failed attempt before the backoff
+	// sleep (1-based attempt number, the error, the chosen delay).
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// attempts returns the effective attempt budget.
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the deterministic delay before attempt n+1 given the
+// jitter stream rng (attempt is 1-based: Backoff(1, rng) follows the first
+// failure). Exposed so tests can table-drive the schedule.
+func (p Policy) Backoff(attempt int, rng *xrand.Rand) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = d*(1-j) + d*j*2*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Schedule materializes the full backoff sequence a policy would sleep
+// through if every attempt failed — the schedule chaos tests assert on.
+func (p Policy) Schedule() []time.Duration {
+	rng := xrand.New(p.Seed)
+	n := p.attempts()
+	out := make([]time.Duration, 0, n-1)
+	for a := 1; a < n; a++ {
+		out = append(out, p.Backoff(a, rng))
+	}
+	return out
+}
+
+// ExhaustedError reports that a retry loop ran out of attempts. The last
+// error is wrapped, so errors.Is/As reach through it.
+type ExhaustedError struct {
+	Attempts int
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("resilience: %d attempts exhausted: %v", e.Attempts, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs op under the policy: transient errors (and unknown ones, when
+// RetryUnknown is set) are retried with backoff until the attempt budget is
+// spent; permanent errors and context cancellation abort immediately. Each
+// attempt runs under its own deadline when AttemptTimeout is set. The
+// returned error is nil on success, the permanent error as-is, or an
+// *ExhaustedError wrapping the last failure.
+func Retry(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	rng := xrand.New(p.Seed)
+	doSleep := p.Sleep
+	if doSleep == nil {
+		doSleep = sleep
+	}
+	n := p.attempts()
+	var last error
+	for attempt := 1; attempt <= n; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		actx := ctx
+		if p.AttemptTimeout > 0 {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+			err := op(actx)
+			cancel()
+			last = err
+		} else {
+			last = op(actx)
+		}
+		if last == nil {
+			return nil
+		}
+		switch Classify(last) {
+		case Permanent:
+			return last
+		case Unknown:
+			if !p.RetryUnknown {
+				return last
+			}
+		}
+		if attempt == n {
+			break
+		}
+		d := p.Backoff(attempt, rng)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, last, d)
+		}
+		if err := doSleep(ctx, d); err != nil {
+			return err
+		}
+	}
+	return &ExhaustedError{Attempts: n, Last: last}
+}

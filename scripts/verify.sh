@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# verify.sh — the full pre-merge gate: build, vet, and the test suite under
+# the race detector. The resilience layer is concurrency-heavy (worker
+# pools, circuit breakers, shared fault injectors), so -race is not
+# optional here.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
