@@ -4,20 +4,30 @@
 // workflow engine, and reports the tier-size cascade, the per-step
 // external-dependency census, and the provenance audit.
 //
+// The chain runs on the event-flow substrate (internal/eventflow): events
+// move through batched, bounded channels, CPU-heavy stages (simulation,
+// reconstruction, slimming) fan out over -workers goroutines, and output
+// order is independent of the worker count — the same seed produces
+// byte-identical tiers whether the run is sequential or parallel.
+//
 // Usage:
 //
 //	daspos-pipeline [-events N] [-seed S] [-process name] [-pileup MU]
+//	                [-workers W] [-batch B]
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"daspos/internal/conditions"
 	"daspos/internal/datamodel"
 	"daspos/internal/detector"
+	"daspos/internal/eventflow"
 	"daspos/internal/generator"
 	"daspos/internal/interview"
 	"daspos/internal/provenance"
@@ -37,6 +47,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator and simulation seed")
 	process := flag.String("process", "drell-yan-z", "physics process (minbias, qcd-dijet, drell-yan-z, w-lepnu, higgs-diphoton)")
 	pileup := flag.Float64("pileup", 0, "mean pileup interactions per event")
+	workers := flag.Int("workers", 4, "worker goroutines per parallel pipeline stage")
+	batch := flag.Int("batch", 32, "events per pipeline batch")
 	flag.Parse()
 
 	procID := processID(*process)
@@ -57,7 +69,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wf, inputs, sizes := buildWorkflow(gen, det, db, tag, run, *events)
+	flow := flowOptions{workers: *workers, opts: eventflow.Options{BatchSize: *batch}}
+	wf, inputs, sizes, reports := buildWorkflow(gen, det, db, tag, run, *events, *seed, flow)
 	prov := provenance.NewStore()
 	res, err := wf.Execute(inputs, prov)
 	if err != nil {
@@ -95,6 +108,8 @@ func main() {
 	}
 	fmt.Println(d)
 
+	printStageReports(*workers, *batch, reports.all())
+
 	// Provenance audit (experiment W3).
 	audit := prov.Audit()
 	fmt.Printf("Provenance: %d records, %.0f%% with complete chains\n",
@@ -106,6 +121,39 @@ func main() {
 type tierSizes struct {
 	raw      int64
 	accepted int
+}
+
+// flowOptions carries the event-flow tuning into every pipeline the chain
+// builds.
+type flowOptions struct {
+	workers int
+	opts    eventflow.Options
+}
+
+// flowReports collects per-pipeline execution reports. The workflow steps
+// append to it as they run, so the reports become available after Execute.
+type flowReports struct {
+	reports []eventflow.Report
+}
+
+func (r *flowReports) add(rep eventflow.Report) { r.reports = append(r.reports, rep) }
+func (r *flowReports) all() []eventflow.Report  { return r.reports }
+
+// printStageReports renders one row per pipeline stage: throughput
+// accounting for the streaming substrate.
+func printStageReports(workers, batch int, reports []eventflow.Report) {
+	t := texttable.New("Pipeline", "Stage", "Workers", "In", "Out", "Batches", "Busy", "Peak batches")
+	t.Title = fmt.Sprintf("Event-flow stages (-workers %d, -batch %d)", workers, batch)
+	for i := 2; i < 8; i++ {
+		t.SetAlign(i, texttable.Right)
+	}
+	for _, rep := range reports {
+		for _, s := range rep.Stages {
+			t.AddRow(rep.Pipeline, s.Name, s.Workers, s.EventsIn, s.EventsOut,
+				s.Batches, s.Busy.Round(10*time.Microsecond).String(), s.MaxInFlight)
+		}
+	}
+	fmt.Println(t)
 }
 
 // printTriggerRates renders the online selection's rate table.
@@ -123,28 +171,39 @@ func printTriggerRates(trg *trigger.Trigger, accepted int) {
 }
 
 // buildWorkflow wires the standard chain into the engine. The RAW artifact
-// is produced up front (it is the workflow's primary input, as in a real
-// experiment where the detector writes it).
-func buildWorkflow(gen generator.Generator, det *detector.Detector, db *conditions.DB, tag string, run uint32, events int) (*workflow.Workflow, map[string]*workflow.Artifact, tierSizes) {
-	full := sim.NewFullSim(det, 1)
+// is produced up front by the online pipeline (it is the workflow's
+// primary input, as in a real experiment where the detector writes it);
+// the offline steps each run their own streaming pipeline.
+func buildWorkflow(gen generator.Generator, det *detector.Detector, db *conditions.DB, tag string, run uint32, events int, seed uint64, flow flowOptions) (*workflow.Workflow, map[string]*workflow.Artifact, tierSizes, *flowReports) {
+	reports := &flowReports{}
+
+	// Online chain: generate → simulate → trigger → digitize → event-build.
+	// Simulation uses per-event RNG streams (SimulateSeeded), so it fans
+	// out over workers without perturbing the physics; the trigger keeps
+	// one worker because its prescale counters are stateful and
+	// order-dependent.
+	full := sim.NewFullSim(det, seed)
 	trg := trigger.New(trigger.StandardMenu(), det)
 	var rawBuf bytes.Buffer
-	var raws []*rawdata.Event
-	accepted := 0
-	for i := 0; i < events; i++ {
-		se := full.Simulate(gen.Generate())
-		if !trg.Evaluate(se).Accepted {
-			continue // not read out: the trigger gate
-		}
-		accepted++
-		raws = append(raws, rawdata.Digitize(run, se))
-	}
-	if err := rawdata.WriteFile(&rawBuf, raws); err != nil {
+	builder := rawdata.NewWriter(&rawBuf)
+
+	online := eventflow.New(context.Background(), "online", flow.opts)
+	hepmcS := eventflow.Source(online, "generate", generator.EventSource(gen, events))
+	simS := eventflow.Map(hepmcS, "simulate", flow.workers, full.StageFunc())
+	trigS := eventflow.Map(simS, "trigger", 1, func(se *sim.Event) (*sim.Event, bool, error) {
+		return se, trg.Evaluate(se).Accepted, nil
+	})
+	rawS := eventflow.Map(trigS, "digitize", flow.workers, rawdata.DigitizeFunc(run))
+	eventflow.Sink(rawS, "event-build", builder.Write)
+	if err := online.Wait(); err != nil {
 		log.Fatal(err)
 	}
+	reports.add(online.Report())
+	accepted := builder.Count()
 	printTriggerRates(trg, accepted)
 
-	rec := reco.New(det)
+	recoCfg := reco.DefaultConfig()
+	recoVersion := reco.New(det).Version
 	snap := db.Snapshot(tag, run)
 
 	wf := &workflow.Workflow{
@@ -153,81 +212,98 @@ func buildWorkflow(gen generator.Generator, det *detector.Detector, db *conditio
 		PrimaryInputs: []string{"raw.banks"},
 		Steps: []workflow.Step{
 			{
-				Name: "reconstruction", Software: "daspos-reco", Version: rec.Version,
+				Name: "reconstruction", Software: "daspos-reco", Version: recoVersion,
 				Config:  map[string]string{"geometry": det.Name + "/" + det.Version},
 				Inputs:  []string{"raw.banks"},
 				Outputs: []string{"reco.edm"},
 				Run: func(ctx *workflow.Context) error {
-					in, err := ctx.Input("raw.banks")
+					in, err := ctx.InputReader("raw.banks")
 					if err != nil {
 						return err
 					}
-					rawEvents, err := rawdata.ReadFile(bytes.NewReader(in.Data))
+					out, err := ctx.StreamOutput("reco.edm", "RECO")
 					if err != nil {
 						return err
 					}
-					var recoEvents []*datamodel.Event
-					for _, r := range rawEvents {
-						ev, err := rec.Reconstruct(r, snap)
-						if err != nil {
-							return err
-						}
-						for _, f := range rec.TouchedFolders() {
-							ctx.External("conditions:" + f)
-						}
-						recoEvents = append(recoEvents, ev)
-					}
-					var buf bytes.Buffer
-					if _, err := datamodel.WriteEvents(&buf, datamodel.TierRECO, recoEvents); err != nil {
+					fw, err := datamodel.NewFileWriter(out, datamodel.TierRECO)
+					if err != nil {
 						return err
 					}
-					return ctx.Output("reco.edm", "RECO", len(recoEvents), buf.Bytes())
+					p := eventflow.New(context.Background(), "reconstruction", flow.opts)
+					src := eventflow.Source(p, "raw-read", rawdata.NewReader(in).Read)
+					recoS := eventflow.MapWorkers(src, "reconstruct", flow.workers,
+						reco.ParallelStage(det, recoCfg, snap))
+					eventflow.Sink(recoS, "reco-write", fw.Write)
+					if err := p.Wait(); err != nil {
+						return err
+					}
+					reports.add(p.Report())
+					for _, f := range reco.Folders() {
+						ctx.External("conditions:" + f)
+					}
+					if err := fw.Close(); err != nil {
+						return err
+					}
+					return out.Commit(fw.Count())
 				},
 			},
 			{
 				Name: "aod-slim", Software: "daspos-datamodel", Version: "1.0",
 				Inputs:  []string{"reco.edm"},
 				Outputs: []string{"aod.edm"},
-				Run:     slimStep(),
+				Run:     slimStep(flow, reports),
 			},
 			{
 				Name: "derivation-train", Software: "daspos-skim", Version: "1.0",
 				Config:  map[string]string{"train": "DIMUON+MET"},
 				Inputs:  []string{"aod.edm"},
 				Outputs: []string{"skim.DIMUON", "skim.MET"},
-				Run:     trainStep(),
+				Run:     trainStep(flow, reports),
 			},
 		},
 	}
 	inputs := map[string]*workflow.Artifact{
-		"raw.banks": {Name: "raw.banks", Tier: "RAW", Events: len(raws), Data: rawBuf.Bytes()},
+		"raw.banks": {Name: "raw.banks", Tier: "RAW", Events: accepted, Data: rawBuf.Bytes()},
 	}
-	return wf, inputs, tierSizes{raw: int64(rawBuf.Len()), accepted: len(raws)}
+	return wf, inputs, tierSizes{raw: int64(rawBuf.Len()), accepted: accepted}, reports
 }
 
-func slimStep() workflow.StepFunc {
+func slimStep(flow flowOptions, reports *flowReports) workflow.StepFunc {
 	return func(ctx *workflow.Context) error {
-		in, err := ctx.Input("reco.edm")
+		in, err := ctx.InputReader("reco.edm")
 		if err != nil {
 			return err
 		}
-		_, events, err := datamodel.ReadEvents(bytes.NewReader(in.Data))
+		fr, err := datamodel.NewFileReader(in)
 		if err != nil {
 			return err
 		}
-		var aod []*datamodel.Event
-		for _, e := range events {
-			aod = append(aod, e.SlimToAOD())
-		}
-		var buf bytes.Buffer
-		if _, err := datamodel.WriteEvents(&buf, datamodel.TierAOD, aod); err != nil {
+		out, err := ctx.StreamOutput("aod.edm", "AOD")
+		if err != nil {
 			return err
 		}
-		return ctx.Output("aod.edm", "AOD", len(aod), buf.Bytes())
+		fw, err := datamodel.NewFileWriter(out, datamodel.TierAOD)
+		if err != nil {
+			return err
+		}
+		p := eventflow.New(context.Background(), "aod-slim", flow.opts)
+		src := eventflow.Source(p, "reco-read", fr.Read)
+		aodS := eventflow.Map(src, "slim", flow.workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
+			return e.SlimToAOD(), true, nil
+		})
+		eventflow.Sink(aodS, "aod-write", fw.Write)
+		if err := p.Wait(); err != nil {
+			return err
+		}
+		reports.add(p.Report())
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		return out.Commit(fw.Count())
 	}
 }
 
-func trainStep() workflow.StepFunc {
+func trainStep(flow flowOptions, reports *flowReports) workflow.StepFunc {
 	train := skim.Train{
 		Name: "prod-train",
 		Derivations: []skim.Derivation{
@@ -244,24 +320,55 @@ func trainStep() workflow.StepFunc {
 		},
 	}
 	return func(ctx *workflow.Context) error {
-		in, err := ctx.Input("aod.edm")
+		in, err := ctx.InputReader("aod.edm")
 		if err != nil {
 			return err
 		}
-		_, events, err := datamodel.ReadEvents(bytes.NewReader(in.Data))
+		fr, err := datamodel.NewFileReader(in)
 		if err != nil {
 			return err
 		}
-		outputs, _, err := train.Run(events)
-		if err != nil {
-			return err
-		}
-		for name, derived := range outputs {
-			var buf bytes.Buffer
-			if _, err := datamodel.WriteEvents(&buf, datamodel.TierDerived, derived); err != nil {
+		// One pass, fan-out sink: every AOD event is offered to every
+		// derivation, each writing its own streamed output.
+		writers := make([]*workflow.ArtifactWriter, len(train.Derivations))
+		files := make([]*datamodel.FileWriter, len(train.Derivations))
+		for i, d := range train.Derivations {
+			aw, err := ctx.StreamOutput("skim."+d.Name, "DERIVED")
+			if err != nil {
 				return err
 			}
-			if err := ctx.Output("skim."+name, "DERIVED", len(derived), buf.Bytes()); err != nil {
+			fw, err := datamodel.NewFileWriter(aw, datamodel.TierDerived)
+			if err != nil {
+				return err
+			}
+			writers[i], files[i] = aw, fw
+		}
+		p := eventflow.New(context.Background(), "derivation-train", flow.opts)
+		src := eventflow.Source(p, "aod-read", fr.Read)
+		eventflow.Sink(src, "derive", func(e *datamodel.Event) error {
+			for i := range train.Derivations {
+				derived, keep, err := train.Derivations[i].Apply(e)
+				if err != nil {
+					return err
+				}
+				if !keep {
+					continue
+				}
+				if err := files[i].Write(derived); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err := p.Wait(); err != nil {
+			return err
+		}
+		reports.add(p.Report())
+		for i := range files {
+			if err := files[i].Close(); err != nil {
+				return err
+			}
+			if err := writers[i].Commit(files[i].Count()); err != nil {
 				return err
 			}
 		}

@@ -2,6 +2,8 @@ package datamodel
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"io"
 	"testing"
 
@@ -188,7 +190,11 @@ func TestFileReaderRejectsGarbage(t *testing.T) {
 
 func TestReadEOF(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := NewFileWriter(&buf, TierAOD); err != nil {
+	fw, err := NewFileWriter(&buf, TierAOD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
 		t.Fatal(err)
 	}
 	fr, err := NewFileReader(&buf)
@@ -197,6 +203,152 @@ func TestReadEOF(t *testing.T) {
 	}
 	if _, err := fr.Read(); err != io.EOF {
 		t.Fatalf("empty file read: %v", err)
+	}
+	// EOF is sticky.
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("second read past EOF: %v", err)
+	}
+}
+
+func TestHeaderOnlyStreamIsTruncated(t *testing.T) {
+	// A stream that ends after the header, without the end trailer, is a
+	// truncated file — not an empty one.
+	var buf bytes.Buffer
+	if _, err := NewFileWriter(&buf, TierAOD); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Read(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("headerless tail read: %v", err)
+	}
+}
+
+func TestTruncatedFileSurfacesUnexpectedEOF(t *testing.T) {
+	// The regression this guards: a gob stream cut exactly at a message
+	// boundary used to read back as a clean EOF, so ReadAll returned a
+	// silently shortened sample. Cutting the file at every byte offset
+	// past the header must now yield io.ErrUnexpectedEOF (or, for cuts
+	// inside the header itself, a header error) — never a clean read.
+	rng := xrand.New(11)
+	var events []*Event
+	for i := 0; i < 5; i++ {
+		events = append(events, fakeRecoEvent(rng, uint64(i)))
+	}
+	var buf bytes.Buffer
+	if _, err := WriteEvents(&buf, TierRECO, events); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must fail. Step through offsets coarsely (the
+	// file is tens of kB) but always include boundaries near the end,
+	// where the trailer lives.
+	var cuts []int
+	for cut := 1; cut < len(full); cut += 997 {
+		cuts = append(cuts, cut)
+	}
+	for cut := len(full) - 10; cut < len(full); cut++ {
+		if cut > 0 {
+			cuts = append(cuts, cut)
+		}
+	}
+	for _, cut := range cuts {
+		fr, err := NewFileReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // cut inside the header: rejected at open, also fine
+		}
+		_, err = fr.ReadAll()
+		if err == nil {
+			t.Fatalf("cut at %d of %d read back cleanly", cut, len(full))
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			// Mid-message cuts may surface as gob decode corruption
+			// instead; both are loud failures. But a bare io.EOF
+			// masquerading as success must never happen (ReadAll maps
+			// that to ErrUnexpectedEOF), and neither may a nil error.
+			continue
+		}
+	}
+	// The intact file still reads fine.
+	fr, err := NewFileReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("intact file: %d events", len(got))
+	}
+}
+
+func TestTrailerCountMismatchRejected(t *testing.T) {
+	// Splice the trailer of an empty file onto a file with one event: the
+	// count disagrees with the events read, which must be rejected.
+	e := fakeRecoEvent(xrand.New(12), 1)
+	var withEvent bytes.Buffer
+	fw, err := NewFileWriter(&withEvent, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Close: append an empty file's trailer instead.
+	var empty bytes.Buffer
+	fw2, err := NewFileWriter(&empty, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event then Close, so the encoder emits the record type info in
+	// the same shape; slice off the header plus the event message.
+	if err := fw2.Write(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Instead of byte-splicing gob internals (fragile), just assert the
+	// reader rejects a wrong count via a hand-built stream: write two
+	// events but a trailer claiming zero by using the encoder directly.
+	var spliced bytes.Buffer
+	enc := gob.NewEncoder(&spliced)
+	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: fileVersion, Tier: TierRECO}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(record{Event: e}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(record{End: true, Count: 0}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(&spliced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fr.ReadAll()
+	if err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("count mismatch: %v", err)
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(fakeRecoEvent(xrand.New(13), 1)); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
 	}
 }
 

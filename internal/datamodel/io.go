@@ -13,6 +13,14 @@ import (
 // than silent corruption) while staying entirely inside the standard
 // library — the "no exotic dependencies" property the paper's preservation
 // discussion prizes.
+//
+// Version 2 frames every event in a record envelope and terminates the
+// stream with an explicit end-of-stream trailer carrying the event count.
+// The trailer is what makes truncation detectable: a gob stream cut at a
+// message boundary otherwise reads as a clean end-of-file, silently
+// dropping the tail of an archived tier. A reader that hits end-of-input
+// before the trailer reports io.ErrUnexpectedEOF, and a trailer whose
+// count disagrees with the events actually read is corruption too.
 
 // fileHeader identifies the stream and pins the tier so a reader cannot
 // mistake a RECO file for an AOD file.
@@ -24,14 +32,25 @@ type fileHeader struct {
 
 const (
 	fileMagic   = "DASPOS-EDM"
-	fileVersion = 1
+	fileVersion = 2
 )
 
-// FileWriter writes a homogeneous stream of events of one tier.
+// record is the per-message envelope of a version-2 stream: either one
+// event, or the end-of-stream trailer (End=true) carrying the total count.
+type record struct {
+	End   bool
+	Count int
+	Event *Event
+}
+
+// FileWriter writes a homogeneous stream of events of one tier. Close must
+// be called after the last event to write the end-of-stream trailer; a
+// stream without a trailer reads back as truncated.
 type FileWriter struct {
-	enc  *gob.Encoder
-	tier Tier
-	n    int
+	enc    *gob.Encoder
+	tier   Tier
+	n      int
+	closed bool
 }
 
 // NewFileWriter starts an event file of the given tier on w.
@@ -45,13 +64,29 @@ func NewFileWriter(w io.Writer, tier Tier) (*FileWriter, error) {
 
 // Write appends one event. The event's tier must match the file's.
 func (w *FileWriter) Write(e *Event) error {
+	if w.closed {
+		return fmt.Errorf("datamodel: write after Close")
+	}
 	if e.Tier != w.tier {
 		return fmt.Errorf("datamodel: event tier %v in %v file", e.Tier, w.tier)
 	}
-	if err := w.enc.Encode(e); err != nil {
+	if err := w.enc.Encode(record{Event: e}); err != nil {
 		return err
 	}
 	w.n++
+	return nil
+}
+
+// Close terminates the stream with the trailer. It does not close the
+// underlying writer. Close is idempotent.
+func (w *FileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.enc.Encode(record{End: true, Count: w.n}); err != nil {
+		return fmt.Errorf("datamodel: writing trailer: %w", err)
+	}
 	return nil
 }
 
@@ -62,6 +97,8 @@ func (w *FileWriter) Count() int { return w.n }
 type FileReader struct {
 	dec  *gob.Decoder
 	tier Tier
+	n    int
+	done bool
 }
 
 // NewFileReader opens an event stream, validating the header.
@@ -83,19 +120,39 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 // Tier returns the file's declared tier.
 func (r *FileReader) Tier() Tier { return r.tier }
 
-// Read returns the next event, or io.EOF at end of stream.
+// Read returns the next event, or io.EOF once the end-of-stream trailer
+// has been seen. Input that ends before the trailer — a truncated file —
+// returns an error wrapping io.ErrUnexpectedEOF, never a clean EOF.
 func (r *FileReader) Read() (*Event, error) {
-	var e Event
-	if err := r.dec.Decode(&e); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
+	if r.done {
+		return nil, io.EOF
+	}
+	var rec record
+	if err := r.dec.Decode(&rec); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// The underlying input ran out before the trailer: the file
+			// is cut short, whether or not the cut fell on a gob message
+			// boundary.
+			return nil, fmt.Errorf("datamodel: truncated stream after %d events: %w", r.n, io.ErrUnexpectedEOF)
 		}
 		return nil, fmt.Errorf("datamodel: decoding event: %w", err)
 	}
-	return &e, nil
+	if rec.End {
+		if rec.Count != r.n {
+			return nil, fmt.Errorf("datamodel: trailer count %d, read %d events", rec.Count, r.n)
+		}
+		r.done = true
+		return nil, io.EOF
+	}
+	if rec.Event == nil {
+		return nil, fmt.Errorf("datamodel: empty record in stream")
+	}
+	r.n++
+	return rec.Event, nil
 }
 
-// ReadAll drains the stream.
+// ReadAll drains the stream. A truncated stream returns an error wrapping
+// io.ErrUnexpectedEOF rather than silently returning the partial sample.
 func (r *FileReader) ReadAll() ([]*Event, error) {
 	var out []*Event
 	for {
@@ -123,6 +180,9 @@ func WriteEvents(w io.Writer, tier Tier, events []*Event) (int64, error) {
 		if err := fw.Write(e); err != nil {
 			return cw.n, err
 		}
+	}
+	if err := fw.Close(); err != nil {
+		return cw.n, err
 	}
 	return cw.n, nil
 }

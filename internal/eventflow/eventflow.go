@@ -1,0 +1,390 @@
+// Package eventflow is the streaming event-flow substrate underneath the
+// processing chain: the paper's "nested levels of processing" (§3.2)
+// realized as pipeline stages connected by bounded channels of
+// sequence-tagged batches instead of whole-tier in-memory slices.
+//
+// A pipeline is assembled from three kinds of node:
+//
+//   - a Source pulls events one at a time from a producer (a generator, a
+//     file reader) and packs them into batches on a single goroutine;
+//   - a stage (Map / MapWorkers) transforms events with a pool of workers,
+//     preserving stream order by reordering completed batches on their
+//     sequence tags before emitting them downstream;
+//   - a Sink consumes the ordered stream on a single goroutine (a file
+//     writer, an accumulator).
+//
+// Memory stays bounded end to end: every inter-stage channel has a fixed
+// capacity and every parallel stage holds at most workers+depth batches in
+// flight (a token is acquired before a batch is dispatched and released
+// only once the batch has been emitted in order). The first error anywhere
+// cancels the shared context and short-circuits the whole pipeline; every
+// goroutine selects on that context, so cancellation drains cleanly with
+// no leaks. Per-stage counters (events in/out, batches, busy time, peak
+// batches in flight) accumulate into a Report for the pipeline tables the
+// executables print.
+//
+// Determinism is a contract, not an accident: stage functions must depend
+// only on their input event (per-event random streams are derived with
+// xrand.ForEvent), and because batch order is preserved, a pipeline's
+// output is byte-identical at any worker count.
+package eventflow
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Options tunes a pipeline. The zero value selects the defaults.
+type Options struct {
+	// BatchSize is the number of events packed into one batch (default 32).
+	// Larger batches amortize channel traffic; smaller ones bound latency
+	// and memory per stage.
+	BatchSize int
+	// Depth is the capacity of every inter-stage channel, and the slack
+	// beyond the worker count in each parallel stage's in-flight bound
+	// (default 2).
+	Depth int
+}
+
+const (
+	defaultBatchSize = 32
+	defaultDepth     = 2
+)
+
+// Pipeline owns the shared control state of one assembled pipeline: the
+// cancellation context, the first error, the goroutine accounting, and the
+// per-stage counters.
+type Pipeline struct {
+	name      string
+	batchSize int
+	depth     int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	failErr error
+	stages  []*stageStats
+	started time.Time
+	waited  bool
+	wall    time.Duration
+}
+
+// New returns an empty pipeline bound to ctx. Cancelling ctx stops every
+// node; Wait then returns the context's error.
+func New(ctx context.Context, name string, opts Options) *Pipeline {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = defaultDepth
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	return &Pipeline{
+		name:      name,
+		batchSize: opts.BatchSize,
+		depth:     opts.Depth,
+		ctx:       pctx,
+		cancel:    cancel,
+		started:   time.Now(),
+	}
+}
+
+// Wait blocks until every node has finished and returns the first error
+// (nil on clean completion, the context error on external cancellation).
+// It must be called exactly once, after the pipeline is fully assembled.
+func (p *Pipeline) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	err := p.failErr
+	if !p.waited {
+		p.waited = true
+		p.wall = time.Since(p.started)
+	}
+	p.mu.Unlock()
+	ctxErr := p.ctx.Err()
+	p.cancel()
+	if err != nil {
+		return err
+	}
+	if ctxErr != nil {
+		return ctxErr
+	}
+	return nil
+}
+
+// fail records the first error and cancels the pipeline so every other
+// node unwinds.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+// spawn runs fn on a tracked goroutine, routing its error into fail.
+func (p *Pipeline) spawn(fn func() error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		if err := fn(); err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+// batch is one sequence-tagged unit of flow. Stages preserve seq (empty
+// batches still travel) so a downstream reorderer can restore stream order
+// by counting.
+type batch[T any] struct {
+	seq   int
+	items []T
+}
+
+// Stream is a typed, ordered flow of batches out of one node.
+type Stream[T any] struct {
+	p  *Pipeline
+	ch chan batch[T]
+}
+
+// Source starts the pipeline's producer: next is called repeatedly on a
+// single goroutine and its events are packed into batches. Returning
+// io.EOF ends the stream cleanly; any other error aborts the pipeline.
+func Source[T any](p *Pipeline, name string, next func() (T, error)) *Stream[T] {
+	st := p.addStage(name, 1)
+	out := make(chan batch[T], p.depth)
+	p.spawn(func() error {
+		defer close(out)
+		seq := 0
+		items := make([]T, 0, p.batchSize)
+		flush := func() bool {
+			if len(items) == 0 {
+				return true
+			}
+			b := batch[T]{seq: seq, items: items}
+			seq++
+			st.batches.Add(1)
+			st.eventsOut.Add(int64(len(items)))
+			select {
+			case out <- b:
+			case <-p.ctx.Done():
+				return false
+			}
+			items = make([]T, 0, p.batchSize)
+			return true
+		}
+		for {
+			if p.ctx.Err() != nil {
+				return nil
+			}
+			start := time.Now()
+			v, err := next()
+			st.busy.Add(int64(time.Since(start)))
+			if err == io.EOF {
+				flush()
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("eventflow: source %s: %w", name, err)
+			}
+			items = append(items, v)
+			if len(items) >= p.batchSize {
+				if !flush() {
+					return nil
+				}
+			}
+		}
+	})
+	return &Stream[T]{p: p, ch: out}
+}
+
+// Map adds a stage applying fn to every event with the given number of
+// workers, preserving stream order. fn returns the transformed event and a
+// keep flag; keep=false drops the event from the stream (a trigger or skim
+// decision). fn must be safe for concurrent use when workers > 1 and must
+// depend only on its input event, or determinism across worker counts is
+// lost.
+func Map[In, Out any](s *Stream[In], name string, workers int, fn func(In) (Out, bool, error)) *Stream[Out] {
+	return MapWorkers(s, name, workers, func(int) func(In) (Out, bool, error) { return fn })
+}
+
+// MapWorkers is Map for stages whose transform carries per-worker state (a
+// reconstructor instance, a scratch buffer): newFn is invoked once per
+// worker and each returned function is only ever called from that worker's
+// goroutine.
+func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func(worker int) func(In) (Out, bool, error)) *Stream[Out] {
+	p := s.p
+	if workers < 1 {
+		workers = 1
+	}
+	st := p.addStage(name, workers)
+
+	apply := func(fn func(In) (Out, bool, error), b batch[In]) (batch[Out], error) {
+		start := time.Now()
+		ob := batch[Out]{seq: b.seq, items: make([]Out, 0, len(b.items))}
+		for _, v := range b.items {
+			o, keep, err := fn(v)
+			if err != nil {
+				st.busy.Add(int64(time.Since(start)))
+				return batch[Out]{}, fmt.Errorf("eventflow: stage %s: %w", name, err)
+			}
+			if keep {
+				ob.items = append(ob.items, o)
+			}
+		}
+		st.busy.Add(int64(time.Since(start)))
+		st.batches.Add(1)
+		st.eventsIn.Add(int64(len(b.items)))
+		st.eventsOut.Add(int64(len(ob.items)))
+		return ob, nil
+	}
+
+	out := make(chan batch[Out], p.depth)
+	if workers == 1 {
+		fn := newFn(0)
+		p.spawn(func() error {
+			defer close(out)
+			for b := range s.ch {
+				ob, err := apply(fn, b)
+				if err != nil {
+					return err
+				}
+				select {
+				case out <- ob:
+				case <-p.ctx.Done():
+					return nil
+				}
+			}
+			return nil
+		})
+		return &Stream[Out]{p: p, ch: out}
+	}
+
+	// Parallel stage: dispatcher → worker pool → reorderer. The token
+	// channel bounds the batches in flight (dispatched but not yet emitted
+	// in order) to workers+depth, which is what keeps memory bounded when
+	// one slow batch holds up emission.
+	bound := workers + p.depth
+	jobs := make(chan batch[In])
+	results := make(chan batch[Out], bound)
+	tokens := make(chan struct{}, bound)
+
+	p.spawn(func() error { // dispatcher
+		defer close(jobs)
+		for b := range s.ch {
+			select {
+			case tokens <- struct{}{}:
+			case <-p.ctx.Done():
+				return nil
+			}
+			st.noteInFlight(1)
+			select {
+			case jobs <- b:
+			case <-p.ctx.Done():
+				return nil
+			}
+		}
+		return nil
+	})
+
+	var workerWG sync.WaitGroup
+	workerWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		fn := newFn(w)
+		p.spawn(func() error {
+			defer workerWG.Done()
+			for b := range jobs {
+				ob, err := apply(fn, b)
+				if err != nil {
+					return err
+				}
+				select {
+				case results <- ob:
+				case <-p.ctx.Done():
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+	p.spawn(func() error { // closes results once the pool drains
+		workerWG.Wait()
+		close(results)
+		return nil
+	})
+
+	p.spawn(func() error { // reorderer
+		defer close(out)
+		pending := make(map[int]batch[Out], bound)
+		next := 0
+		for ob := range results {
+			pending[ob.seq] = ob
+			for {
+				b, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				select {
+				case out <- b:
+				case <-p.ctx.Done():
+					return nil
+				}
+				st.noteInFlight(-1)
+				// A token was acquired for every dispatched batch, so this
+				// receive never blocks.
+				<-tokens
+			}
+		}
+		return nil
+	})
+	return &Stream[Out]{p: p, ch: out}
+}
+
+// Sink terminates the stream: fn is called for every event, in stream
+// order, on a single goroutine.
+func Sink[T any](s *Stream[T], name string, fn func(T) error) {
+	p := s.p
+	st := p.addStage(name, 1)
+	p.spawn(func() error {
+		for b := range s.ch {
+			start := time.Now()
+			for _, v := range b.items {
+				if err := fn(v); err != nil {
+					st.busy.Add(int64(time.Since(start)))
+					return fmt.Errorf("eventflow: sink %s: %w", name, err)
+				}
+			}
+			st.busy.Add(int64(time.Since(start)))
+			st.batches.Add(1)
+			st.eventsIn.Add(int64(len(b.items)))
+		}
+		return nil
+	})
+}
+
+// Collected holds a Collect sink's accumulated events. Items must not be
+// read before the pipeline's Wait has returned.
+type Collected[T any] struct {
+	Items []T
+}
+
+// Collect terminates the stream into an ordered in-memory slice — the
+// bridge back to slice-shaped callers (and deliberately the only place the
+// substrate materializes a whole stream).
+func Collect[T any](s *Stream[T], name string) *Collected[T] {
+	c := &Collected[T]{}
+	Sink(s, name, func(v T) error {
+		c.Items = append(c.Items, v)
+		return nil
+	})
+	return c
+}

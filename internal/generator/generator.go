@@ -16,6 +16,7 @@ package generator
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"daspos/internal/fourvec"
@@ -237,4 +238,20 @@ func GenerateN(gen Generator, n int) []*hepmc.Event {
 		out[i] = gen.Generate()
 	}
 	return out
+}
+
+// EventSource adapts gen to the pull contract of a streaming source
+// (eventflow.Source): successive calls return the next event of an
+// n-event sample, then io.EOF. Generators are stateful, so the returned
+// function must be driven from a single goroutine — exactly what a
+// pipeline source guarantees.
+func EventSource(gen Generator, n int) func() (*hepmc.Event, error) {
+	i := 0
+	return func() (*hepmc.Event, error) {
+		if i >= n {
+			return nil, io.EOF
+		}
+		i++
+		return gen.Generate(), nil
+	}
 }

@@ -1,6 +1,7 @@
 package generator
 
 import (
+	"io"
 	"math"
 	"testing"
 
@@ -423,5 +424,31 @@ func BenchmarkMinBiasWithPileup(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = g.Generate()
+	}
+}
+
+func TestEventSource(t *testing.T) {
+	next := EventSource(NewDrellYanZ(DefaultConfig(3)), 5)
+	var nums []int
+	for {
+		ev, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		nums = append(nums, ev.Number)
+	}
+	if len(nums) != 5 {
+		t.Fatalf("source yielded %d events, want 5", len(nums))
+	}
+	for i, n := range nums {
+		if n != i {
+			t.Fatalf("event %d has number %d", i, n)
+		}
+	}
+	if _, err := next(); err != io.EOF {
+		t.Fatalf("exhausted source returned %v, want io.EOF", err)
 	}
 }

@@ -256,6 +256,50 @@ func ReadEvent(r io.Reader) (*Event, error) {
 	return e, nil
 }
 
+// DigitizeFunc adapts Digitize to the event-flow stage signature for the
+// given run. Digitization is a pure function of the simulated event, so
+// the returned function is safe for any worker count.
+func DigitizeFunc(run uint32) func(*sim.Event) (*Event, bool, error) {
+	return func(se *sim.Event) (*Event, bool, error) {
+		return Digitize(run, se), true, nil
+	}
+}
+
+// Writer streams raw events onto an io.Writer one at a time — the
+// event-builder end of a streaming pipeline, where a whole-run []*Event
+// slice never exists.
+type Writer struct {
+	w io.Writer
+	n int
+}
+
+// NewWriter returns a streaming raw-event writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write appends one event to the stream.
+func (w *Writer) Write(e *Event) error {
+	if err := WriteEvent(w.w, e); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int { return w.n }
+
+// Reader streams raw events off an io.Reader; Read returns io.EOF at a
+// clean end of stream. It is the raw tier's streaming source.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader returns a streaming raw-event reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Read decodes the next event, or io.EOF.
+func (r *Reader) Read() (*Event, error) { return ReadEvent(r.r) }
+
 // WriteFile encodes a sequence of events.
 func WriteFile(w io.Writer, events []*Event) error {
 	for _, e := range events {

@@ -26,6 +26,7 @@ import (
 	"daspos/internal/conditions"
 	"daspos/internal/datamodel"
 	"daspos/internal/detector"
+	"daspos/internal/eventflow"
 	"daspos/internal/generator"
 	"daspos/internal/leshouches"
 	"daspos/internal/rawdata"
@@ -426,31 +427,49 @@ type FullSimBackend struct {
 	Run    uint32
 	// LuminosityPb converts event limits to cross sections.
 	LuminosityPb float64
+	// Workers sets the worker count for the parallel pipeline stages
+	// (simulation, reconstruction); zero or one runs sequentially. The
+	// physics output is identical at any setting: simulation draws from
+	// per-event RNG streams and reconstruction is deterministic, so only
+	// wall time changes.
+	Workers int
 }
 
 // Name implements Backend.
 func (*FullSimBackend) Name() string { return "fullsim" }
 
-// Process implements Backend.
+// Process implements Backend. The chain — generate → simulate → digitize →
+// reconstruct → slim — runs as one streaming event-flow pipeline; a whole-
+// sample slice exists only at the end, where the preserved analysis needs
+// the full selected sample.
 func (b *FullSimBackend) Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	workers := b.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	cfg := generator.DefaultConfig(model.Seed)
 	gen := generator.NewZPrime(cfg, model.MassGeV)
 	full := sim.NewFullSim(b.Det, model.Seed)
-	rec := reco.New(b.Det)
 	snap := b.CondDB.Snapshot(b.Tag, b.Run)
 
-	events := make([]*datamodel.Event, 0, model.Events)
-	for i := 0; i < model.Events; i++ {
-		raw := rawdata.Digitize(b.Run, full.Simulate(gen.Generate()))
-		ev, err := rec.Reconstruct(raw, snap)
-		if err != nil {
-			return nil, fmt.Errorf("recast: fullsim reconstruction: %w", err)
-		}
-		events = append(events, ev.SlimToAOD())
+	p := eventflow.New(context.Background(), "fullsim", eventflow.Options{})
+	hepmcS := eventflow.Source(p, "generate", generator.EventSource(gen, model.Events))
+	simS := eventflow.Map(hepmcS, "simulate", workers, full.StageFunc())
+	rawS := eventflow.Map(simS, "digitize", workers, rawdata.DigitizeFunc(b.Run))
+	recoS := eventflow.MapWorkers(rawS, "reconstruct", workers,
+		reco.ParallelStage(b.Det, reco.DefaultConfig(), snap))
+	aodS := eventflow.Map(recoS, "slim", workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
+		return e.SlimToAOD(), true, nil
+	})
+	collected := eventflow.Collect(aodS, "sample")
+	if err := p.Wait(); err != nil {
+		return nil, fmt.Errorf("recast: fullsim chain: %w", err)
 	}
+	events := collected.Items
+
 	flow, err := record.CutFlow(events)
 	if err != nil {
 		return nil, err

@@ -102,6 +102,37 @@ func (r *Reconstructor) TouchedFolders() []string {
 	return append([]string(nil), r.touched...)
 }
 
+// Folders returns the conditions folders every Reconstruct call resolves,
+// in access order — the static form of the dependency census, used by
+// streaming steps that never hold a single Reconstructor to interrogate.
+func Folders() []string {
+	return []string{
+		conditions.FolderECalScale,
+		conditions.FolderHCalScale,
+		conditions.FolderTrackerAlign,
+		conditions.FolderBeamspot,
+		conditions.FolderMuonAlign,
+	}
+}
+
+// ParallelStage returns a per-worker stage factory for the event-flow
+// substrate: each worker gets its own Reconstructor (the touched-folder
+// ledger is per-instance state), so any worker count reconstructs the
+// stream safely. Reconstruction draws no random numbers, so parallel
+// output is identical to sequential by construction.
+func ParallelStage(det *detector.Detector, cfg Config, cond Source) func(worker int) func(*rawdata.Event) (*datamodel.Event, bool, error) {
+	return func(int) func(*rawdata.Event) (*datamodel.Event, bool, error) {
+		rec := NewWithConfig(det, cfg)
+		return func(raw *rawdata.Event) (*datamodel.Event, bool, error) {
+			ev, err := rec.Reconstruct(raw, cond)
+			if err != nil {
+				return nil, false, err
+			}
+			return ev, true, nil
+		}
+	}
+}
+
 // hit is an unpacked position measurement.
 type hit struct {
 	layer     int

@@ -333,3 +333,58 @@ func BenchmarkReconstructDijet(b *testing.B) {
 		}
 	}
 }
+
+func TestParallelStageMatchesSequential(t *testing.T) {
+	// Per-worker Reconstructors over the same geometry and snapshot must
+	// reproduce the single-instance sequential pass exactly.
+	c := newChain(t, 31)
+	g := generator.NewDrellYanZ(generator.DefaultConfig(31))
+	var raws []*rawdata.Event
+	for i := 0; i < 8; i++ {
+		raws = append(raws, rawdata.Digitize(1, c.full.SimulateSeeded(g.Generate())))
+	}
+	var want []*datamodel.Event
+	for _, raw := range raws {
+		ev, err := c.rec.Reconstruct(raw, c.cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ev)
+	}
+	factory := ParallelStage(c.det, DefaultConfig(), c.cond)
+	for w := 0; w < 3; w++ {
+		fn := factory(w)
+		// Walk the sample backwards: instance state must not couple events.
+		for i := len(raws) - 1; i >= 0; i-- {
+			got, keep, err := fn(raws[i])
+			if err != nil || !keep {
+				t.Fatalf("worker %d event %d: keep=%v err=%v", w, i, keep, err)
+			}
+			if len(got.Tracks) != len(want[i].Tracks) ||
+				len(got.Clusters) != len(want[i].Clusters) ||
+				len(got.Candidates) != len(want[i].Candidates) ||
+				got.Missing != want[i].Missing {
+				t.Fatalf("worker %d event %d: parallel stage differs from sequential", w, i)
+			}
+		}
+	}
+}
+
+func TestFoldersMatchTouched(t *testing.T) {
+	c := newChain(t, 32)
+	g := generator.NewMinBias(generator.DefaultConfig(32))
+	raw := rawdata.Digitize(1, c.full.Simulate(g.Generate()))
+	if _, err := c.rec.Reconstruct(raw, c.cond); err != nil {
+		t.Fatal(err)
+	}
+	touched := c.rec.TouchedFolders()
+	static := Folders()
+	if len(touched) != len(static) {
+		t.Fatalf("Folders() lists %d folders, Reconstruct touched %d", len(static), len(touched))
+	}
+	for i := range static {
+		if static[i] != touched[i] {
+			t.Fatalf("folder %d: static %q vs touched %q", i, static[i], touched[i])
+		}
+	}
+}

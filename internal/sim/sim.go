@@ -52,8 +52,9 @@ type Event struct {
 
 // FullSim propagates particles through the detector hit by hit.
 type FullSim struct {
-	det *detector.Detector
-	rng *xrand.Rand
+	det  *detector.Detector
+	seed uint64
+	rng  *xrand.Rand
 	// Version is recorded in provenance when simulation runs inside a
 	// preserved workflow.
 	Version string
@@ -62,14 +63,39 @@ type FullSim struct {
 // NewFullSim returns a full simulation over the given geometry, with its
 // own deterministic random stream.
 func NewFullSim(det *detector.Detector, seed uint64) *FullSim {
-	return &FullSim{det: det, rng: xrand.New(seed ^ 0xf0115e), Version: "fullsim-1.4.0"}
+	return &FullSim{det: det, seed: seed, rng: xrand.New(seed ^ 0xf0115e), Version: "fullsim-1.4.0"}
 }
 
 // Detector returns the geometry the simulation runs over.
 func (s *FullSim) Detector() *detector.Detector { return s.det }
 
-// Simulate runs one generated event through the detector.
+// Simulate runs one generated event through the detector, drawing from
+// the simulation's single shared random stream. The result therefore
+// depends on how many events were simulated before this one; use
+// SimulateSeeded inside parallel pipelines.
 func (s *FullSim) Simulate(ev *hepmc.Event) *Event {
+	return s.simulate(ev, s.rng)
+}
+
+// SimulateSeeded runs one generated event through the detector with a
+// private random stream derived from the simulation seed and the event
+// number (xrand.ForEvent). The output is a pure function of the event, so
+// a worker pool simulating events in any order reproduces a sequential
+// pass bit for bit — the determinism rule of the event-flow substrate.
+func (s *FullSim) SimulateSeeded(ev *hepmc.Event) *Event {
+	return s.simulate(ev, xrand.ForEvent(s.seed^0xf0115e, uint64(ev.Number)))
+}
+
+// StageFunc adapts SimulateSeeded to the event-flow stage signature. The
+// returned function is safe for concurrent use: it touches only the
+// read-only geometry and its per-event stream.
+func (s *FullSim) StageFunc() func(*hepmc.Event) (*Event, bool, error) {
+	return func(ev *hepmc.Event) (*Event, bool, error) {
+		return s.SimulateSeeded(ev), true, nil
+	}
+}
+
+func (s *FullSim) simulate(ev *hepmc.Event, rng *xrand.Rand) *Event {
 	out := &Event{Number: ev.Number, ProcessID: ev.ProcessID}
 	if len(ev.Vertices) > 0 {
 		v := ev.Vertices[0]
@@ -83,27 +109,27 @@ func (s *FullSim) Simulate(ev *hepmc.Event) *Event {
 		if v := ev.Vertex(p.ProdVertex); v != nil {
 			prod = *v
 		}
-		s.traceParticle(out, p, prod)
+		s.traceParticle(rng, out, p, prod)
 	}
-	s.addNoise(out)
+	s.addNoise(rng, out)
 	return out
 }
 
 // traceParticle propagates one particle and records its hits and deposits.
-func (s *FullSim) traceParticle(out *Event, p hepmc.Particle, prod hepmc.Vertex) {
+func (s *FullSim) traceParticle(rng *xrand.Rand, out *Event, p hepmc.Particle, prod hepmc.Vertex) {
 	absEta := math.Abs(p.P.Eta())
 	charge := units.Charge(p.PDG)
 	prodR := math.Hypot(prod.X, prod.Y)
 
 	if charge != 0 && absEta < s.det.EtaMax && p.P.Pt() > 0.1 {
 		for _, li := range s.det.TrackerLayers() {
-			s.hitLayer(out, li, p, prod, prodR, charge, false)
+			s.hitLayer(rng, out, li, p, prod, prodR, charge, false)
 		}
 	}
-	s.depositCalo(out, p, prod, charge)
+	s.depositCalo(rng, out, p, prod, charge)
 	if abs(p.PDG) == units.PDGMuon && absEta < s.det.EtaMax && p.P.Pt() > 2 {
 		for _, li := range s.det.LayersOf(detector.KindMuon) {
-			s.hitLayer(out, li, p, prod, prodR, charge, true)
+			s.hitLayer(rng, out, li, p, prod, prodR, charge, true)
 		}
 	}
 }
@@ -140,19 +166,19 @@ func (s *FullSim) helixAt(p fourvec.Vec, charge, x0, y0, z0, r float64) (phi, z 
 	return phi, z, true
 }
 
-func (s *FullSim) hitLayer(out *Event, li int, p hepmc.Particle, prod hepmc.Vertex, prodR, charge float64, muon bool) {
+func (s *FullSim) hitLayer(rng *xrand.Rand, out *Event, li int, p hepmc.Particle, prod hepmc.Vertex, prodR, charge float64, muon bool) {
 	l := s.det.Layer(li)
 	if prodR >= l.Radius {
 		// Produced beyond this layer (displaced V0/D decay): no hit.
 		return
 	}
 	phi, z, ok := s.helixAt(p.P, charge, prod.X, prod.Y, prod.Z, l.Radius)
-	if !ok || !s.rng.Bool(l.Efficiency) {
+	if !ok || !rng.Bool(l.Efficiency) {
 		return
 	}
 	// Smear and relocate to the channel grid.
-	phi += s.rng.Gauss(0, l.ResRPhi/l.Radius)
-	z += s.rng.Gauss(0, l.ResZ)
+	phi += rng.Gauss(0, l.ResRPhi/l.Radius)
+	z += rng.Gauss(0, l.ResZ)
 	iphi, iz, ok := l.CellOf(phi, z)
 	if !ok {
 		return
@@ -173,7 +199,7 @@ func (s *FullSim) hitLayer(out *Event, li int, p hepmc.Particle, prod hepmc.Vert
 
 // depositCalo deposits the particle's energy into the calorimeters with
 // species-appropriate resolution and sharing.
-func (s *FullSim) depositCalo(out *Event, p hepmc.Particle, prod hepmc.Vertex, charge float64) {
+func (s *FullSim) depositCalo(rng *xrand.Rand, out *Event, p hepmc.Particle, prod hepmc.Vertex, charge float64) {
 	e := p.P.E
 	if e <= 0.1 {
 		return
@@ -198,10 +224,10 @@ func (s *FullSim) depositCalo(out *Event, p hepmc.Particle, prod hepmc.Vertex, c
 		return
 	default:
 		// Hadrons: a fluctuating EM fraction and stochastic resolution.
-		emFrac = s.rng.Range(0.15, 0.45)
+		emFrac = rng.Range(0.15, 0.45)
 		res = math.Sqrt(0.60*0.60/e + 0.05*0.05)
 	}
-	smeared := e * (1 + s.rng.Gauss(0, res))
+	smeared := e * (1 + rng.Gauss(0, res))
 	if smeared <= 0 {
 		return
 	}
@@ -242,23 +268,23 @@ func (s *FullSim) depositAt(out *Event, l *detector.Layer, li int, p hepmc.Parti
 }
 
 // addNoise sprinkles electronics noise across all sensitive layers.
-func (s *FullSim) addNoise(out *Event) {
+func (s *FullSim) addNoise(rng *xrand.Rand, out *Event) {
 	for li := range s.det.Layers {
 		l := s.det.Layer(li)
 		if !l.Sensitive() || l.NoiseOccupancy <= 0 {
 			continue
 		}
-		n := s.rng.Poisson(l.NoiseOccupancy * float64(l.Channels()))
+		n := rng.Poisson(l.NoiseOccupancy * float64(l.Channels()))
 		for i := 0; i < n; i++ {
-			iphi := s.rng.Intn(l.NPhi)
-			iz := s.rng.Intn(l.NZ)
+			iphi := rng.Intn(l.NPhi)
+			iz := rng.Intn(l.NZ)
 			id := detector.MakeChannelID(li, iphi, iz)
 			phi, z := l.CellCenter(iphi, iz)
 			switch l.Kind {
 			case detector.KindECal, detector.KindHCal:
 				out.Deposits = append(out.Deposits, CaloDeposit{
 					Channel: id,
-					Energy:  s.rng.Exp(0.15),
+					Energy:  rng.Exp(0.15),
 					EM:      l.Kind == detector.KindECal,
 				})
 			case detector.KindMuon:

@@ -306,6 +306,22 @@ func (r Report) Efficiency() float64 {
 	return float64(r.Selected) / float64(r.Input)
 }
 
+// Apply evaluates the derivation on a single event: the derived event and
+// true when selected, nil and false otherwise. It is the per-event unit
+// Run batches over, and the stage adapter for streaming pipelines (the
+// signature matches eventflow's stage functions; Apply never mutates its
+// input, so any worker count is safe).
+func (d Derivation) Apply(e *datamodel.Event) (*datamodel.Event, bool, error) {
+	ok, err := d.Selection.Pass(e)
+	if err != nil {
+		return nil, false, fmt.Errorf("skim: derivation %q: %w", d.Name, err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return d.Slim.Apply(e), true, nil
+}
+
 // Run executes the derivation over a sample, returning the derived events
 // and an execution report.
 func (d Derivation) Run(events []*datamodel.Event) ([]*datamodel.Event, Report, error) {
@@ -315,15 +331,15 @@ func (d Derivation) Run(events []*datamodel.Event) ([]*datamodel.Event, Report, 
 	rep := Report{Derivation: d.Name, Input: len(events)}
 	var out []*datamodel.Event
 	for _, e := range events {
-		ok, err := d.Selection.Pass(e)
+		derived, ok, err := d.Apply(e)
 		if err != nil {
-			return nil, rep, fmt.Errorf("skim: derivation %q: %w", d.Name, err)
+			return nil, rep, err
 		}
 		if !ok {
 			continue
 		}
 		rep.Selected++
-		out = append(out, d.Slim.Apply(e))
+		out = append(out, derived)
 	}
 	return out, rep, nil
 }

@@ -338,3 +338,45 @@ func TestPassMatchesCutFlowProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestApplyMatchesRun(t *testing.T) {
+	d := Derivation{
+		Name:      "MU",
+		Selection: Selection{Name: "mu", Cuts: []Cut{{Variable: "n_muons", Op: OpGE, Value: 1}}},
+		Slim:      SlimPolicy{DropRecoDetail: true},
+	}
+	events := []*datamodel.Event{
+		evt([]float64{25}, []float64{40}, 10),
+		evt(nil, []float64{60}, 55),
+		evt([]float64{12, 9}, nil, 5),
+		evt(nil, nil, 80),
+	}
+	for i := range events {
+		events[i].Number = uint64(i)
+	}
+	want, rep, err := d.Run(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*datamodel.Event
+	for _, e := range events {
+		out, ok, err := d.Apply(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			got = append(got, out)
+		}
+	}
+	if len(got) != len(want) || len(got) != rep.Selected {
+		t.Fatalf("Apply selected %d events, Run selected %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Number != want[i].Number || got[i].Tier != want[i].Tier {
+			t.Fatalf("event %d differs between Apply and Run", i)
+		}
+	}
+	if bad, ok, err := d.Apply(&datamodel.Event{Tier: datamodel.TierAOD}); ok || err != nil || bad != nil {
+		t.Fatalf("muon-less event selected: %v %v %v", bad, ok, err)
+	}
+}

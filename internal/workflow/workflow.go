@@ -14,10 +14,13 @@
 package workflow
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"io"
 	"sort"
 
 	"daspos/internal/provenance"
@@ -31,12 +34,22 @@ type Artifact struct {
 	// Events is the artifact's event count, when meaningful.
 	Events int
 	Data   []byte
+
+	// digest caches the content address. Artifacts are write-once: they
+	// are sealed when published via Output or an ArtifactWriter, so the
+	// first computation stays valid.
+	digest string
 }
 
-// Digest returns the artifact's SHA-256 content address.
+// Digest returns the artifact's SHA-256 content address. Streamed
+// artifacts carry the digest computed on the fly during writing; for
+// others it is computed on first use and cached.
 func (a *Artifact) Digest() string {
-	sum := sha256.Sum256(a.Data)
-	return hex.EncodeToString(sum[:])
+	if a.digest == "" {
+		sum := sha256.Sum256(a.Data)
+		a.digest = hex.EncodeToString(sum[:])
+	}
+	return a.digest
 }
 
 // Context is a step's window onto the run: declared inputs, produced
@@ -60,6 +73,16 @@ func (c *Context) Input(name string) (*Artifact, error) {
 	return a, nil
 }
 
+// InputReader returns a declared input artifact as a byte stream, the
+// source end of a streaming step.
+func (c *Context) InputReader(name string) (io.Reader, error) {
+	a, err := c.Input(name)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(a.Data), nil
+}
+
 // Output publishes a declared output artifact.
 func (c *Context) Output(name, tier string, events int, data []byte) error {
 	if !contains(c.step.Outputs, name) {
@@ -70,6 +93,59 @@ func (c *Context) Output(name, tier string, events int, data []byte) error {
 	}
 	c.outputs[name] = &Artifact{Name: name, Tier: tier, Events: events, Data: data}
 	return nil
+}
+
+// ArtifactWriter is the sink end of a streaming step: bytes written to it
+// are buffered for the artifact pool and hashed on the fly, so the
+// provenance digest is ready the moment the stream closes — no second
+// pass over the data. Obtain one with Context.StreamOutput and seal it
+// with Commit.
+type ArtifactWriter struct {
+	ctx    *Context
+	name   string
+	tier   string
+	buf    bytes.Buffer
+	hash   hash.Hash
+	sealed bool
+}
+
+// Write appends to the artifact, feeding the running digest.
+func (w *ArtifactWriter) Write(p []byte) (int, error) {
+	if w.sealed {
+		return 0, fmt.Errorf("workflow: write to committed output %q", w.name)
+	}
+	w.hash.Write(p)
+	return w.buf.Write(p)
+}
+
+// Commit publishes the artifact with the given event count. The digest is
+// the one accumulated during writing.
+func (w *ArtifactWriter) Commit(events int) error {
+	if w.sealed {
+		return fmt.Errorf("workflow: output %q committed twice", w.name)
+	}
+	w.sealed = true
+	if _, dup := w.ctx.outputs[w.name]; dup {
+		return fmt.Errorf("workflow: step %q produced output %q twice", w.ctx.step.Name, w.name)
+	}
+	w.ctx.outputs[w.name] = &Artifact{
+		Name: w.name, Tier: w.tier, Events: events,
+		Data:   w.buf.Bytes(),
+		digest: hex.EncodeToString(w.hash.Sum(nil)),
+	}
+	return nil
+}
+
+// StreamOutput opens a declared output for streaming production. The
+// returned writer hashes while it buffers; call Commit to publish.
+func (c *Context) StreamOutput(name, tier string) (*ArtifactWriter, error) {
+	if !contains(c.step.Outputs, name) {
+		return nil, fmt.Errorf("workflow: step %q did not declare output %q", c.step.Name, name)
+	}
+	if _, dup := c.outputs[name]; dup {
+		return nil, fmt.Errorf("workflow: step %q produced output %q twice", c.step.Name, name)
+	}
+	return &ArtifactWriter{ctx: c, name: name, tier: tier, hash: sha256.New()}, nil
 }
 
 // External records that the step resolved an external resource (a
@@ -134,9 +210,12 @@ func (w *Workflow) Validate() error {
 	if w.Name == "" {
 		return fmt.Errorf("workflow: empty name")
 	}
-	available := make(map[string]bool)
+	// producer maps each available artifact to where it comes from, so
+	// conflict errors can name the actual culprit instead of just the
+	// artifact.
+	producer := make(map[string]string)
 	for _, in := range w.PrimaryInputs {
-		available[in] = true
+		producer[in] = "primary input"
 	}
 	stepNames := make(map[string]bool)
 	for i := range w.Steps {
@@ -152,18 +231,25 @@ func (w *Workflow) Validate() error {
 			return fmt.Errorf("workflow %q: step %q has no outputs", w.Name, s.Name)
 		}
 		for _, in := range s.Inputs {
-			if !available[in] {
+			if _, ok := producer[in]; !ok {
 				return fmt.Errorf("workflow %q: step %q input %q not produced by any earlier step or primary input", w.Name, s.Name, in)
 			}
 		}
 		for _, out := range s.Outputs {
-			if available[out] {
-				return fmt.Errorf("workflow %q: output %q produced twice", w.Name, out)
+			if prev, dup := producer[out]; dup {
+				return fmt.Errorf("workflow %q: output %q declared by step %q is already produced by %s", w.Name, out, s.Name, describeProducer(prev))
 			}
-			available[out] = true
+			producer[out] = s.Name
 		}
 	}
 	return nil
+}
+
+func describeProducer(p string) string {
+	if p == "primary input" {
+		return p
+	}
+	return fmt.Sprintf("step %q", p)
 }
 
 // StepReport summarizes one executed step.

@@ -3,6 +3,7 @@ package workflow
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -309,6 +310,161 @@ func TestArtifactDigest(t *testing.T) {
 	c := &Artifact{Data: buf.Bytes()}
 	if c.Digest() == a.Digest() {
 		t.Fatal("different content, same digest")
+	}
+}
+
+func TestValidateDuplicateStepNamesError(t *testing.T) {
+	w := twoStep()
+	w.Steps[1].Name = "reco"
+	w.Steps[1].Outputs = []string{"other"}
+	err := w.Validate()
+	if err == nil {
+		t.Fatal("duplicate step names accepted")
+	}
+	if !strings.Contains(err.Error(), `"reco"`) {
+		t.Fatalf("error does not name the duplicated step: %v", err)
+	}
+}
+
+func TestValidateOutputDeclaredTwiceNamesBothSteps(t *testing.T) {
+	// Two different steps declaring the same output: the error must name
+	// both the offending step and the original producer, not just the
+	// artifact.
+	w := twoStep()
+	w.Steps[1].Outputs = []string{"reco-out"}
+	w.Steps[1].Inputs = []string{"raw"}
+	err := w.Validate()
+	if err == nil {
+		t.Fatal("twice-declared output accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"slim"`) || !strings.Contains(msg, `"reco"`) {
+		t.Fatalf("error does not name both producing steps: %v", err)
+	}
+	// Shadowing a primary input points at the primary input instead.
+	w2 := twoStep()
+	w2.Steps[1].Outputs = []string{"raw"}
+	err = w2.Validate()
+	if err == nil {
+		t.Fatal("primary-input shadowing accepted")
+	}
+	if !strings.Contains(err.Error(), "primary input") {
+		t.Fatalf("error does not identify the primary input: %v", err)
+	}
+}
+
+func TestValidateRejectsThreeStepCycle(t *testing.T) {
+	// a → b → c → a. No step order makes this chain well-founded, so
+	// whichever comes first consumes an artifact nothing earlier produced.
+	w := &Workflow{
+		Name: "cyclic",
+		Steps: []Step{
+			{Name: "a", Inputs: []string{"c-out"}, Outputs: []string{"a-out"}},
+			{Name: "b", Inputs: []string{"a-out"}, Outputs: []string{"b-out"}},
+			{Name: "c", Inputs: []string{"b-out"}, Outputs: []string{"c-out"}},
+		},
+	}
+	err := w.Validate()
+	if err == nil {
+		t.Fatal("cyclic workflow accepted")
+	}
+	if !strings.Contains(err.Error(), `"c-out"`) {
+		t.Fatalf("error does not name the unsatisfiable input: %v", err)
+	}
+	// Every rotation of the cycle is equally invalid.
+	for rot := 1; rot < 3; rot++ {
+		w.Steps = append(w.Steps[1:], w.Steps[0])
+		if err := w.Validate(); err == nil {
+			t.Fatalf("rotation %d of the cycle accepted", rot)
+		}
+	}
+}
+
+func TestStreamOutputHashesOnTheFly(t *testing.T) {
+	w := &Workflow{
+		Name:          "stream",
+		PrimaryInputs: []string{"in"},
+		Steps: []Step{{
+			Name: "s", Inputs: []string{"in"}, Outputs: []string{"out"},
+			Run: func(ctx *Context) error {
+				r, err := ctx.InputReader("in")
+				if err != nil {
+					return err
+				}
+				aw, err := ctx.StreamOutput("out", "RECO")
+				if err != nil {
+					return err
+				}
+				// Stream in small chunks, as a pipeline sink would.
+				if _, err := io.CopyBuffer(aw, r, make([]byte, 3)); err != nil {
+					return err
+				}
+				if _, err := io.WriteString(aw, "-streamed"); err != nil {
+					return err
+				}
+				return aw.Commit(10)
+			},
+		}},
+	}
+	prov := provenance.NewStore()
+	res, err := w.Execute(map[string]*Artifact{"in": {Name: "in", Data: []byte("payload")}}, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Artifacts["out"]
+	if string(a.Data) != "payload-streamed" {
+		t.Fatalf("streamed content: %q", a.Data)
+	}
+	if a.Events != 10 {
+		t.Fatalf("events: %d", a.Events)
+	}
+	// The digest accumulated during writing must equal the one a plain
+	// artifact computes over the same bytes.
+	want := (&Artifact{Data: []byte("payload-streamed")}).Digest()
+	if a.Digest() != want {
+		t.Fatalf("on-the-fly digest %s != recomputed %s", a.Digest(), want)
+	}
+}
+
+func TestStreamOutputMisuse(t *testing.T) {
+	w := &Workflow{
+		Name:          "misuse",
+		PrimaryInputs: []string{"in"},
+		Steps: []Step{{
+			Name: "s", Inputs: []string{"in"}, Outputs: []string{"out"},
+			Run: func(ctx *Context) error {
+				if _, err := ctx.StreamOutput("undeclared", "X"); err == nil {
+					return fmt.Errorf("undeclared stream output allowed")
+				}
+				if _, err := ctx.InputReader("undeclared"); err == nil {
+					return fmt.Errorf("undeclared input reader allowed")
+				}
+				aw, err := ctx.StreamOutput("out", "RECO")
+				if err != nil {
+					return err
+				}
+				if _, err := io.WriteString(aw, "x"); err != nil {
+					return err
+				}
+				if err := aw.Commit(1); err != nil {
+					return err
+				}
+				if _, err := aw.Write([]byte("late")); err == nil {
+					return fmt.Errorf("write after Commit allowed")
+				}
+				if err := aw.Commit(1); err == nil {
+					return fmt.Errorf("double Commit allowed")
+				}
+				// Opening the output again after it was committed fails too.
+				if _, err := ctx.StreamOutput("out", "RECO"); err == nil {
+					return fmt.Errorf("re-opening committed output allowed")
+				}
+				return nil
+			},
+		}},
+	}
+	if _, err := w.Execute(map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore()); err != nil {
+		t.Fatal(err)
 	}
 }
 

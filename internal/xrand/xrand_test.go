@@ -294,3 +294,37 @@ func BenchmarkGauss(b *testing.B) {
 		_ = r.Gauss(0, 1)
 	}
 }
+
+func TestForEventDeterminism(t *testing.T) {
+	// The stream for (seed, event) is a pure function of the pair: it must
+	// not depend on how many other events were drawn first.
+	a := ForEvent(42, 7)
+	b := ForEvent(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("ForEvent streams diverge for identical (seed, event)")
+		}
+	}
+}
+
+func TestForEventIndependence(t *testing.T) {
+	// Neighbouring event numbers and neighbouring seeds must give
+	// uncorrelated streams: no shared prefix, means near 1/2.
+	const draws = 20000
+	for _, pair := range [][2]*Rand{
+		{ForEvent(1, 0), ForEvent(1, 1)},
+		{ForEvent(1, 5), ForEvent(2, 5)},
+	} {
+		a, b := pair[0], pair[1]
+		if a.Uint64() == b.Uint64() {
+			t.Fatal("distinct (seed, event) pairs share their first output")
+		}
+		var sum float64
+		for i := 0; i < draws; i++ {
+			sum += a.Float64() - b.Float64()
+		}
+		if mean := sum / draws; math.Abs(mean) > 0.02 {
+			t.Fatalf("correlated streams: mean difference %v", mean)
+		}
+	}
+}
