@@ -2,6 +2,7 @@ package daspos
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"daspos/internal/catalog"
@@ -18,7 +19,7 @@ func TestCatalogBookkeepsWorkflowChain(t *testing.T) {
 	d := detectorWithConditions(t)
 	prov := provenance.NewStore()
 	wf := productionWorkflow(t, d)
-	res, err := wf.Execute(map[string]*workflow.Artifact{
+	res, err := wf.Execute(context.Background(), map[string]*workflow.Artifact{
 		"raw.banks": rawArtifact(t, d.det, 30),
 	}, prov)
 	if err != nil {

@@ -1,0 +1,466 @@
+package daspos
+
+// Crash-storm integration tests: the checkpointed offline chain — RAW →
+// RECO → AOD → derivation skims through the workflow engine — is killed
+// at every instrumented point of the ledger's commit protocol, resumed,
+// and must converge to tiers byte-identical with an uninterrupted run
+// while never re-executing a step whose checkpointed outputs verify.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"daspos/internal/checkpoint"
+	"daspos/internal/datamodel"
+	"daspos/internal/eventflow"
+	"daspos/internal/faults"
+	"daspos/internal/provenance"
+	"daspos/internal/rawdata"
+	"daspos/internal/reco"
+	"daspos/internal/workflow"
+)
+
+// The RAW tier is the workflow's primary input (the detector wrote it);
+// producing it runs the full simulation chain, so it is computed once and
+// shared by every kill/resume attempt in the storm.
+var crashRaw struct {
+	once sync.Once
+	data []byte
+	n    int
+}
+
+func crashRawInput(t testing.TB, d *detCond) map[string]*workflow.Artifact {
+	t.Helper()
+	crashRaw.once.Do(func() {
+		a := rawArtifact(t, d.det, 40)
+		crashRaw.data, crashRaw.n = a.Data, a.Events
+	})
+	return map[string]*workflow.Artifact{
+		"raw.banks": {Name: "raw.banks", Tier: "RAW", Events: crashRaw.n, Data: crashRaw.data},
+	}
+}
+
+// offlineChain is the production offline workflow on the streaming
+// substrate, instrumented with per-step execution counters — the probe
+// the skip assertions read.
+func offlineChain(d *detCond, counts map[string]int) *workflow.Workflow {
+	opts := eventflow.Options{BatchSize: 8}
+	const workers = 2
+	rec := reco.New(d.det)
+	counted := func(name string, fn workflow.StepFunc) workflow.StepFunc {
+		return func(ctx *workflow.Context) error {
+			counts[name]++
+			return fn(ctx)
+		}
+	}
+	return &workflow.Workflow{
+		Name:          "crash-chain",
+		ConditionsTag: "e2e-v1",
+		PrimaryInputs: []string{"raw.banks"},
+		Steps: []workflow.Step{
+			{
+				Name: "reconstruction", Software: "daspos-reco", Version: rec.Version,
+				Inputs: []string{"raw.banks"}, Outputs: []string{"reco.edm"},
+				Run: counted("reconstruction", func(ctx *workflow.Context) error {
+					in, err := ctx.InputReader("raw.banks")
+					if err != nil {
+						return err
+					}
+					out, err := ctx.StreamOutput("reco.edm", "RECO")
+					if err != nil {
+						return err
+					}
+					fw, err := datamodel.NewFileWriter(out, datamodel.TierRECO)
+					if err != nil {
+						return err
+					}
+					p := eventflow.New(ctx.Ctx(), "reconstruction", opts)
+					src := eventflow.Source(p, "raw-read", rawdata.NewReader(in).Read)
+					recoS := eventflow.MapWorkers(src, "reconstruct", workers,
+						reco.ParallelStage(d.det, reco.DefaultConfig(), d.snap))
+					eventflow.Sink(recoS, "reco-write", fw.Write)
+					if err := p.Wait(); err != nil {
+						return err
+					}
+					if err := fw.Close(); err != nil {
+						return err
+					}
+					return out.Commit(fw.Count())
+				}),
+			},
+			{
+				Name: "aod-slim", Software: "daspos-datamodel", Version: "1.0",
+				Inputs: []string{"reco.edm"}, Outputs: []string{"aod.edm"},
+				Run: counted("aod-slim", func(ctx *workflow.Context) error {
+					in, err := ctx.InputReader("reco.edm")
+					if err != nil {
+						return err
+					}
+					fr, err := datamodel.NewFileReader(in)
+					if err != nil {
+						return err
+					}
+					out, err := ctx.StreamOutput("aod.edm", "AOD")
+					if err != nil {
+						return err
+					}
+					fw, err := datamodel.NewFileWriter(out, datamodel.TierAOD)
+					if err != nil {
+						return err
+					}
+					p := eventflow.New(ctx.Ctx(), "aod-slim", opts)
+					src := eventflow.Source(p, "reco-read", fr.Read)
+					aodS := eventflow.Map(src, "slim", workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
+						return e.SlimToAOD(), true, nil
+					})
+					eventflow.Sink(aodS, "aod-write", fw.Write)
+					if err := p.Wait(); err != nil {
+						return err
+					}
+					if err := fw.Close(); err != nil {
+						return err
+					}
+					return out.Commit(fw.Count())
+				}),
+			},
+			{
+				Name: "derivation-train", Software: "daspos-skim", Version: "1.0",
+				Config: map[string]string{"train": "DIMUON+MET"},
+				Inputs: []string{"aod.edm"}, Outputs: []string{"skim.DIMUON", "skim.MET"},
+				Run: counted("derivation-train", func(ctx *workflow.Context) error {
+					in, err := ctx.InputReader("aod.edm")
+					if err != nil {
+						return err
+					}
+					fr, err := datamodel.NewFileReader(in)
+					if err != nil {
+						return err
+					}
+					train := prodTrain()
+					writers := make([]*workflow.ArtifactWriter, len(train.Derivations))
+					files := make([]*datamodel.FileWriter, len(train.Derivations))
+					for i, der := range train.Derivations {
+						aw, err := ctx.StreamOutput("skim."+der.Name, "DERIVED")
+						if err != nil {
+							return err
+						}
+						fw, err := datamodel.NewFileWriter(aw, datamodel.TierDerived)
+						if err != nil {
+							return err
+						}
+						writers[i], files[i] = aw, fw
+					}
+					p := eventflow.New(ctx.Ctx(), "derivation-train", opts)
+					src := eventflow.Source(p, "aod-read", fr.Read)
+					eventflow.Sink(src, "derive", func(e *datamodel.Event) error {
+						for i := range train.Derivations {
+							derived, keep, err := train.Derivations[i].Apply(e)
+							if err != nil {
+								return err
+							}
+							if keep {
+								if err := files[i].Write(derived); err != nil {
+									return err
+								}
+							}
+						}
+						return nil
+					})
+					if err := p.Wait(); err != nil {
+						return err
+					}
+					for i := range files {
+						if err := files[i].Close(); err != nil {
+							return err
+						}
+						if err := writers[i].Commit(files[i].Count()); err != nil {
+							return err
+						}
+					}
+					return nil
+				}),
+			},
+		},
+	}
+}
+
+var chainOutputs = []string{"reco.edm", "aod.edm", "skim.DIMUON", "skim.MET"}
+
+// referenceTiers runs the chain uninterrupted, no ledger, and returns the
+// byte-identity reference for every storm below.
+func referenceTiers(t testing.TB, d *detCond) map[string][]byte {
+	t.Helper()
+	res, err := offlineChain(d, map[string]int{}).Execute(
+		context.Background(), crashRawInput(t, d), provenance.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(chainOutputs))
+	for _, name := range chainOutputs {
+		out[name] = res.Artifacts[name].Data
+	}
+	return out
+}
+
+func assertTiersIdentical(t *testing.T, label string, want map[string][]byte, res *workflow.Result) {
+	t.Helper()
+	for _, name := range chainOutputs {
+		a := res.Artifacts[name]
+		if a == nil {
+			t.Fatalf("%s: tier %s missing", label, name)
+		}
+		if !bytes.Equal(a.Data, want[name]) {
+			t.Fatalf("%s: tier %s differs from uninterrupted run", label, name)
+		}
+	}
+}
+
+// runKilled executes the checkpointed chain expecting the killer to fire;
+// it reports whether the kill happened (false: the run completed).
+func runKilled(t *testing.T, d *detCond, dir string, counts map[string]int, killer *faults.Killer, resume bool) (killed bool) {
+	t.Helper()
+	l, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetKill(killer.Hit)
+	opt := workflow.WithCheckpoint(l)
+	if resume {
+		opt = workflow.ResumeFrom(l)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := faults.AsKill(r); !ok {
+				panic(r)
+			}
+			killed = true
+		}
+	}()
+	if _, err := offlineChain(d, counts).Execute(context.Background(), crashRawInput(t, d), provenance.NewStore(), opt); err != nil {
+		t.Fatal(err)
+	}
+	return false
+}
+
+// doneSteps returns the steps the ledger records as Done AND whose
+// artifacts pass fixity — exactly the set resume must not re-execute.
+func doneSteps(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	l, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(map[string]bool)
+	for _, info := range l.Status() {
+		if info.State == checkpoint.StepDone && l.Verify(info.Key) == nil {
+			done[info.Step] = true
+		}
+	}
+	return done
+}
+
+func resumeToCompletion(t *testing.T, d *detCond, dir string, counts map[string]int) *workflow.Result {
+	t.Helper()
+	l, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	res, err := offlineChain(d, counts).Execute(
+		context.Background(), crashRawInput(t, d), provenance.NewStore(), workflow.ResumeFrom(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCrashStormResumesByteIdentical kills the pipeline at EVERY
+// instrumented point of the commit protocol — one fresh run per point —
+// resumes each, and asserts the resumed output is byte-identical to the
+// uninterrupted reference and that no step with verified checkpointed
+// outputs re-executed.
+func TestCrashStormResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash storm is a long test")
+	}
+	d := detectorWithConditions(t)
+	want := referenceTiers(t, d)
+
+	// Probe: count the kill points one uninterrupted checkpointed run
+	// exposes. The storm sweeps all of them.
+	probe := faults.NewKiller()
+	if killed := runKilled(t, d, t.TempDir(), map[string]int{}, probe, false); killed {
+		t.Fatal("disarmed probe killed the run")
+	}
+	total := probe.Hits()
+	if total < 20 {
+		t.Fatalf("only %d kill points over the run, want >= 20", total)
+	}
+	t.Logf("crash storm: sweeping %d kill points", total)
+
+	for n := 1; n <= total; n++ {
+		dir := t.TempDir()
+		counts := map[string]int{}
+		killer := faults.NewKiller()
+		killer.CrashAfterN(n)
+		if !runKilled(t, d, dir, counts, killer, false) {
+			t.Fatalf("kill %d/%d did not fire", n, total)
+		}
+		survivors := doneSteps(t, dir)
+		preKill := make(map[string]int, len(counts))
+		for step, c := range counts {
+			preKill[step] = c
+		}
+
+		res := resumeToCompletion(t, d, dir, counts)
+		assertTiersIdentical(t, "kill at "+strconv.Itoa(n), want, res)
+		if res.Executed+res.Skipped != 3 {
+			t.Fatalf("kill %d: executed=%d skipped=%d", n, res.Executed, res.Skipped)
+		}
+		if res.Skipped != len(survivors) {
+			t.Fatalf("kill %d: skipped %d steps, ledger held %d verified", n, res.Skipped, len(survivors))
+		}
+		for step, c := range counts {
+			if survivors[step] && c != preKill[step] {
+				t.Fatalf("kill %d: step %s with verified checkpoint re-executed", n, step)
+			}
+			if c > preKill[step]+1 {
+				t.Fatalf("kill %d: step %s ran %d times on resume", n, step, c-preKill[step])
+			}
+		}
+	}
+}
+
+// TestCrashStormRepeatedKills hammers ONE ledger directory: every attempt
+// is killed a few points further in, resuming from whatever the previous
+// death left, until the run finally completes. Progress must be monotone —
+// checkpointed work is never lost to the next crash.
+func TestCrashStormRepeatedKills(t *testing.T) {
+	d := detectorWithConditions(t)
+	want := referenceTiers(t, d)
+	dir := t.TempDir()
+	counts := map[string]int{}
+
+	// Each attempt survives a little longer before dying. The budget must
+	// grow: recovery is step-granular (a killed step restarts from its
+	// beginning), so a fixed budget shorter than the longest step would
+	// crash-loop forever — which is itself worth knowing about the design.
+	attempts := 0
+	for ; attempts < 40; attempts++ {
+		killer := faults.NewKiller()
+		killer.CrashAfterN(5 + attempts*4)
+		if !runKilled(t, d, dir, counts, killer, attempts > 0) {
+			break
+		}
+	}
+	if attempts == 40 {
+		t.Fatal("run never completed under repeated kills")
+	}
+	t.Logf("survived %d kills before completing", attempts)
+
+	// The final state replays clean and byte-identical.
+	res := resumeToCompletion(t, d, dir, counts)
+	assertTiersIdentical(t, "repeated kills", want, res)
+	if res.Skipped != 3 {
+		t.Fatalf("completed run not fully checkpointed: skipped=%d", res.Skipped)
+	}
+	// Every step eventually ran, and no step ran once per attempt — the
+	// ledger carried finished work across crashes.
+	for _, step := range []string{"reconstruction", "aod-slim", "derivation-train"} {
+		if counts[step] == 0 {
+			t.Fatalf("step %s never executed", step)
+		}
+		if counts[step] > attempts+1 {
+			t.Fatalf("step %s ran %d times over %d attempts — checkpoints not honoured", step, counts[step], attempts)
+		}
+	}
+}
+
+// TestResumeCorruptedArtifactForcesReExecution damages one checkpointed
+// object and asserts resume re-executes exactly the affected step.
+func TestResumeCorruptedArtifactForcesReExecution(t *testing.T) {
+	d := detectorWithConditions(t)
+	dir := t.TempDir()
+	counts := map[string]int{}
+	killer := faults.NewKiller() // disarmed
+	if runKilled(t, d, dir, counts, killer, false) {
+		t.Fatal("disarmed killer fired")
+	}
+
+	l, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recoDigest string
+	for _, info := range l.Status() {
+		if info.Step == "reconstruction" {
+			recoDigest = info.Artifacts[0].Digest
+		}
+	}
+	obj := l.ObjectPath(recoDigest)
+	l.Close()
+	data, err := os.ReadFile(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(obj, faults.CorruptBytes(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := resumeToCompletion(t, d, dir, counts)
+	if counts["reconstruction"] != 2 {
+		t.Fatalf("reconstruction ran %d times, want 2 (re-run after fixity failure)", counts["reconstruction"])
+	}
+	// Reconstruction is deterministic, so its re-produced output digest is
+	// unchanged and the downstream steps stay skippable.
+	if counts["aod-slim"] != 1 || counts["derivation-train"] != 1 {
+		t.Fatalf("unaffected steps re-ran: %v", counts)
+	}
+	if res.Executed != 1 || res.Skipped != 2 {
+		t.Fatalf("executed=%d skipped=%d, want 1/2", res.Executed, res.Skipped)
+	}
+	assertTiersIdentical(t, "corrupted artifact", referenceTiers(t, d), res)
+	if done := doneSteps(t, dir); len(done) != 3 {
+		t.Fatalf("ledger not repaired: %v", done)
+	}
+}
+
+// TestResumeTornFinalJournalRecord tears the journal's real final record —
+// the last step's done line — and asserts resume re-executes only that
+// step, everything earlier staying checkpointed.
+func TestResumeTornFinalJournalRecord(t *testing.T) {
+	d := detectorWithConditions(t)
+	dir := t.TempDir()
+	counts := map[string]int{}
+	if runKilled(t, d, dir, counts, faults.NewKiller(), false) {
+		t.Fatal("disarmed killer fired")
+	}
+
+	l, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := l.JournalPath()
+	l.Close()
+	if err := faults.TearFinalRecord(journal); err != nil {
+		t.Fatal(err)
+	}
+
+	res := resumeToCompletion(t, d, dir, counts)
+	if counts["derivation-train"] != 2 {
+		t.Fatalf("interrupted final step ran %d times, want 2", counts["derivation-train"])
+	}
+	if counts["reconstruction"] != 1 || counts["aod-slim"] != 1 {
+		t.Fatalf("intact steps re-ran: %v", counts)
+	}
+	if res.Executed != 1 || res.Skipped != 2 {
+		t.Fatalf("executed=%d skipped=%d, want 1/2", res.Executed, res.Skipped)
+	}
+	assertTiersIdentical(t, "torn journal", referenceTiers(t, d), res)
+}

@@ -10,10 +10,17 @@
 // order is independent of the worker count — the same seed produces
 // byte-identical tiers whether the run is sequential or parallel.
 //
+// Runs are crash-safe when -checkpoint-dir is given: every workflow
+// step's lifecycle is journaled into a durable ledger (started, artifacts
+// committed via write-temp-then-rename, done), and -resume continues an
+// interrupted run, skipping steps whose recorded outputs pass digest
+// verification and re-executing anything less than fully committed.
+//
 // Usage:
 //
 //	daspos-pipeline [-events N] [-seed S] [-process name] [-pileup MU]
-//	                [-workers W] [-batch B]
+//	                [-workers W] [-batch B] [-stage-retries R]
+//	                [-checkpoint-dir DIR] [-resume]
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"log"
 	"time"
 
+	"daspos/internal/checkpoint"
 	"daspos/internal/conditions"
 	"daspos/internal/datamodel"
 	"daspos/internal/detector"
@@ -49,7 +57,14 @@ func main() {
 	pileup := flag.Float64("pileup", 0, "mean pileup interactions per event")
 	workers := flag.Int("workers", 4, "worker goroutines per parallel pipeline stage")
 	batch := flag.Int("batch", 32, "events per pipeline batch")
+	stageRetries := flag.Int("stage-retries", 2, "transient worker restarts allowed per pipeline stage")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for the durable run ledger (empty: checkpointing off)")
+	resume := flag.Bool("resume", false, "resume from the ledger in -checkpoint-dir, skipping verified steps")
 	flag.Parse()
+
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
 
 	procID := processID(*process)
 	if procID == 0 {
@@ -69,12 +84,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	flow := flowOptions{workers: *workers, opts: eventflow.Options{BatchSize: *batch}}
+	flow := flowOptions{workers: *workers, opts: eventflow.Options{BatchSize: *batch, StageRetries: *stageRetries}}
 	wf, inputs, sizes, reports := buildWorkflow(gen, det, db, tag, run, *events, *seed, flow)
 	prov := provenance.NewStore()
-	res, err := wf.Execute(inputs, prov)
+
+	var execOpts []workflow.ExecOption
+	var ledger *checkpoint.Ledger
+	if *ckptDir != "" {
+		ledger, err = checkpoint.Open(*ckptDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ledger.Close()
+		if *resume {
+			execOpts = append(execOpts, workflow.ResumeFrom(ledger))
+		} else {
+			execOpts = append(execOpts, workflow.WithCheckpoint(ledger))
+		}
+	}
+
+	res, err := wf.Execute(context.Background(), inputs, prov, execOpts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ledger != nil {
+		printRunStatus(ledger, res, *resume)
 	}
 
 	// Tier-size cascade (experiment W1).
@@ -156,6 +190,40 @@ func printStageReports(workers, batch int, reports []eventflow.Report) {
 	fmt.Println(t)
 }
 
+// printRunStatus renders the checkpoint run report: which steps executed
+// this invocation, which were restored from verified checkpoints, and
+// what the ledger holds per step.
+func printRunStatus(ledger *checkpoint.Ledger, res *workflow.Result, resumed bool) {
+	t := texttable.New("Step", "Outcome", "Ledger", "Artifacts", "Bytes", "Events")
+	mode := "checkpointed"
+	if resumed {
+		mode = "resumed"
+	}
+	t.Title = fmt.Sprintf("Run status (%s, ledger %s)", mode, ledger.Dir())
+	for i := 3; i < 6; i++ {
+		t.SetAlign(i, texttable.Right)
+	}
+	state := make(map[string]checkpoint.StepInfo)
+	for _, info := range ledger.Status() {
+		state[info.Step] = info
+	}
+	for _, rep := range res.Reports {
+		outcome := "executed"
+		if rep.Skipped {
+			outcome = "skipped (fixity ok)"
+		}
+		ledgerState, arts := "-", 0
+		if info, ok := state[rep.Step]; ok {
+			ledgerState = info.State.String()
+			arts = len(info.Artifacts)
+		}
+		t.AddRow(rep.Step, outcome, ledgerState, arts, rep.OutputBytes, rep.OutputEvents)
+	}
+	fmt.Println(t)
+	fmt.Printf("Run status: %d step(s) executed, %d restored from checkpoint\n",
+		res.Executed, res.Skipped)
+}
+
 // printTriggerRates renders the online selection's rate table.
 func printTriggerRates(trg *trigger.Trigger, accepted int) {
 	t := texttable.New("Item", "Prescale", "Accepts", "Fraction")
@@ -229,7 +297,7 @@ func buildWorkflow(gen generator.Generator, det *detector.Detector, db *conditio
 					if err != nil {
 						return err
 					}
-					p := eventflow.New(context.Background(), "reconstruction", flow.opts)
+					p := eventflow.New(ctx.Ctx(), "reconstruction", flow.opts)
 					src := eventflow.Source(p, "raw-read", rawdata.NewReader(in).Read)
 					recoS := eventflow.MapWorkers(src, "reconstruct", flow.workers,
 						reco.ParallelStage(det, recoCfg, snap))
@@ -286,7 +354,7 @@ func slimStep(flow flowOptions, reports *flowReports) workflow.StepFunc {
 		if err != nil {
 			return err
 		}
-		p := eventflow.New(context.Background(), "aod-slim", flow.opts)
+		p := eventflow.New(ctx.Ctx(), "aod-slim", flow.opts)
 		src := eventflow.Source(p, "reco-read", fr.Read)
 		aodS := eventflow.Map(src, "slim", flow.workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
 			return e.SlimToAOD(), true, nil
@@ -343,7 +411,7 @@ func trainStep(flow flowOptions, reports *flowReports) workflow.StepFunc {
 			}
 			writers[i], files[i] = aw, fw
 		}
-		p := eventflow.New(context.Background(), "derivation-train", flow.opts)
+		p := eventflow.New(ctx.Ctx(), "derivation-train", flow.opts)
 		src := eventflow.Source(p, "aod-read", fr.Read)
 		eventflow.Sink(src, "derive", func(e *datamodel.Event) error {
 			for i := range train.Derivations {

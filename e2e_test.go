@@ -6,6 +6,7 @@ package daspos
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"daspos/internal/archive"
@@ -36,7 +37,7 @@ func TestEndToEndPreservationLoop(t *testing.T) {
 	d := detectorWithConditions(t)
 	prov := provenance.NewStore()
 	wf := productionWorkflow(t, d)
-	res, err := wf.Execute(map[string]*workflow.Artifact{
+	res, err := wf.Execute(context.Background(), map[string]*workflow.Artifact{
 		"raw.banks": rawArtifact(t, d.det, 60),
 	}, prov)
 	if err != nil {

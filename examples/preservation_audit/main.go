@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	fmt.Println("== 1. run a chain with external provenance capture ==")
 	prov := provenance.NewStore()
 	wf := demoWorkflow()
-	res, err := wf.Execute(map[string]*workflow.Artifact{
+	res, err := wf.Execute(context.Background(), map[string]*workflow.Artifact{
 		"raw": {Name: "raw", Tier: "RAW", Events: 1000, Data: bytes.Repeat([]byte("raw"), 4000)},
 	}, prov)
 	if err != nil {

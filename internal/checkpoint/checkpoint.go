@@ -1,0 +1,473 @@
+// Package checkpoint makes a whole pipeline run a durable, resumable
+// unit: a journaled run ledger that records each workflow step's
+// lifecycle (started → artifacts committed → done) in an append-only
+// journal, with every artifact payload committed to a content-addressed
+// object store via write-temp-then-rename before the journal line that
+// announces it is appended.
+//
+// The DASPOS demand that an archived analysis chain stay re-executable
+// years later is, day to day, a demand that it survive the mundane
+// failures of long-running processing: a process killed mid-step, a torn
+// write, a half-committed artifact. The ledger's commit protocol is
+// ordered so that a crash at *any* instruction leaves a recoverable
+// state:
+//
+//  1. the artifact payload is written to a temp file in objects/,
+//     fsynced, renamed to its SHA-256 digest, and the directory fsynced;
+//  2. only then is the journal record describing it appended and the
+//     journal fsynced.
+//
+// Replay therefore never trusts a record whose payload could be missing,
+// and a journal line cut short by the crash (no trailing newline) is
+// dropped and truncated away on the next Open — exactly the recovery
+// discipline of the recast request journal, promoted to whole pipeline
+// runs. A malformed record in the middle of the journal, by contrast, is
+// real corruption and fails Open loudly.
+//
+// Steps are keyed by StepKey over (step name, config digest, input
+// digests), so a resumed run only skips a step when the same code
+// configuration ran over byte-identical inputs — and even then only
+// after the recorded artifacts pass fixity (re-hash equals recorded
+// digest). A checkpoint that fails fixity simply forces re-execution.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StepState is a step's recorded lifecycle position.
+type StepState int
+
+// Lifecycle states. A step that appears in the journal only via "start"
+// was interrupted; only StepDone is skippable on resume.
+const (
+	StepUnknown StepState = iota
+	StepStarted
+	StepDone
+)
+
+// String renders the state for status reports.
+func (s StepState) String() string {
+	switch s {
+	case StepStarted:
+		return "started"
+	case StepDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// ArtifactRecord is the journal's description of one committed artifact.
+// Digest doubles as the object-store file name.
+type ArtifactRecord struct {
+	Name   string `json:"name"`
+	Tier   string `json:"tier"`
+	Events int    `json:"events"`
+	Bytes  int64  `json:"bytes"`
+	Digest string `json:"digest"`
+}
+
+// StepInfo is one step's replayed ledger state.
+type StepInfo struct {
+	Step      string
+	Key       string
+	State     StepState
+	Artifacts []ArtifactRecord
+	// External is the step's external-dependency census, recorded on the
+	// done line so resumed runs keep complete provenance.
+	External []string
+}
+
+// journalRecord is one JSON line of the journal.
+type journalRecord struct {
+	Kind     string          `json:"kind"` // "start", "artifact", "done"
+	Step     string          `json:"step"`
+	Key      string          `json:"key"`
+	Artifact *ArtifactRecord `json:"artifact,omitempty"`
+	External []string        `json:"external,omitempty"`
+}
+
+// StepKey derives the ledger key identifying one step execution: the
+// step's name, its configuration digest, and the digests of its inputs in
+// declared order. Any change to code configuration or input bytes yields
+// a different key, so stale checkpoints can never satisfy a resumed run.
+func StepKey(step, configDigest string, inputDigests []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "step=%s\nconfig=%s\n", step, configDigest)
+	for _, d := range inputDigests {
+		fmt.Fprintf(h, "input=%s\n", d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Ledger is the durable run ledger: an append-only journal plus a
+// content-addressed object store under one checkpoint directory. Safe for
+// concurrent readers of the replayed state; appends are serialized.
+type Ledger struct {
+	dir     string
+	journal *os.File
+
+	mu    sync.Mutex
+	steps map[string]*StepInfo
+	order []string // keys in first-seen order, for status reports
+	kill  func(point string)
+}
+
+const (
+	journalName = "journal.log"
+	objectsName = "objects"
+)
+
+// Open creates or recovers the ledger in dir. Recovery replays the
+// journal, drops a crash-torn final record (truncating the file back to
+// its last durable line so later appends start clean), removes stale
+// temp objects, and fails on mid-stream corruption.
+func Open(dir string) (*Ledger, error) {
+	objDir := filepath.Join(dir, objectsName)
+	if err := os.MkdirAll(objDir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating %s: %w", objDir, err)
+	}
+	// Temp objects are pre-rename leftovers of a crash: never referenced
+	// by any journal record, safe to discard.
+	if tmps, err := filepath.Glob(filepath.Join(objDir, "tmp-*")); err == nil {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("checkpoint: reading journal: %w", err)
+	}
+	l := &Ledger{dir: dir, steps: make(map[string]*StepInfo)}
+	valid, err := l.replay(data)
+	if err != nil {
+		return nil, err
+	}
+	if valid < int64(len(data)) {
+		// Torn tail: cut the journal back to its last durable record so
+		// the next append does not concatenate onto a partial line.
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncating torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening journal: %w", err)
+	}
+	l.journal = f
+	return l, nil
+}
+
+// Close releases the journal handle. The ledger directory remains valid
+// for a later Open.
+func (l *Ledger) Close() error {
+	if l.journal == nil {
+		return nil
+	}
+	err := l.journal.Close()
+	l.journal = nil
+	return err
+}
+
+// Dir returns the checkpoint directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// SetKill installs a fault hook invoked at every instrumented instruction
+// of the commit protocol (see the "journal.*" and "object.*" point names
+// in this file). The chaos tests arm it with faults.Killer to die at a
+// seeded instruction; production runs leave it nil.
+func (l *Ledger) SetKill(fn func(point string)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.kill = fn
+}
+
+func (l *Ledger) killPoint(point string) {
+	l.mu.Lock()
+	fn := l.kill
+	l.mu.Unlock()
+	if fn != nil {
+		fn(point)
+	}
+}
+
+// replay applies journal bytes to the in-memory state and returns the
+// byte length of the valid prefix. A partial final line (no newline) is
+// tolerated as a crash tear; a malformed complete line is corruption.
+func (l *Ledger) replay(data []byte) (int64, error) {
+	var offset int64
+	lineNo := 0
+	for int(offset) < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// Torn tail — the crash interrupted the final append.
+			return offset, nil
+		}
+		lineNo++
+		line := bytes.TrimSpace(data[offset : offset+int64(nl)])
+		if len(line) > 0 {
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return 0, fmt.Errorf("checkpoint: journal line %d corrupt: %w", lineNo, err)
+			}
+			if err := l.apply(rec, lineNo); err != nil {
+				return 0, err
+			}
+		}
+		offset += int64(nl) + 1
+	}
+	return offset, nil
+}
+
+// apply folds one replayed record into the step table.
+func (l *Ledger) apply(rec journalRecord, lineNo int) error {
+	if rec.Key == "" || rec.Step == "" {
+		return fmt.Errorf("checkpoint: journal line %d: record without step/key", lineNo)
+	}
+	info := l.steps[rec.Key]
+	if info == nil {
+		info = &StepInfo{Step: rec.Step, Key: rec.Key}
+		l.steps[rec.Key] = info
+		l.order = append(l.order, rec.Key)
+	}
+	switch rec.Kind {
+	case "start":
+		// A fresh start supersedes any previous lifecycle for the key:
+		// re-execution after a fixity failure re-records from scratch.
+		info.State = StepStarted
+		info.Artifacts = nil
+		info.External = nil
+	case "artifact":
+		if rec.Artifact == nil {
+			return fmt.Errorf("checkpoint: journal line %d: artifact record without artifact", lineNo)
+		}
+		info.Artifacts = append(info.Artifacts, *rec.Artifact)
+	case "done":
+		info.State = StepDone
+		info.External = rec.External
+	default:
+		return fmt.Errorf("checkpoint: journal line %d: unknown kind %q", lineNo, rec.Kind)
+	}
+	return nil
+}
+
+// appendRecord durably appends one journal line: write, then fsync, then
+// (only after durability) the in-memory state update. The write is split
+// so an injected kill can model a torn record.
+func (l *Ledger) appendRecord(rec journalRecord) error {
+	if l.journal == nil {
+		return fmt.Errorf("checkpoint: ledger is closed")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	l.killPoint("journal.append")
+	half := len(line) / 2
+	if _, err := l.journal.Write(line[:half]); err != nil {
+		return fmt.Errorf("checkpoint: journal append: %w", err)
+	}
+	l.killPoint("journal.torn")
+	if _, err := l.journal.Write(line[half:]); err != nil {
+		return fmt.Errorf("checkpoint: journal append: %w", err)
+	}
+	l.killPoint("journal.sync")
+	if err := l.journal.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: journal fsync: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.apply(rec, -1)
+}
+
+// Start records that a step execution began.
+func (l *Ledger) Start(step, key string) error {
+	return l.appendRecord(journalRecord{Kind: "start", Step: step, Key: key})
+}
+
+// Commit durably stores one artifact payload and journals it. The digest
+// is computed here over the payload; a caller-supplied digest in rec must
+// agree. The object store is content-addressed, so re-committing
+// identical bytes is idempotent — but an existing object that no longer
+// hashes to its name (operator damage, bit rot) is overwritten with the
+// fresh payload rather than trusted.
+func (l *Ledger) Commit(step, key string, rec ArtifactRecord, data []byte) (ArtifactRecord, error) {
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	if rec.Digest != "" && rec.Digest != digest {
+		return rec, fmt.Errorf("checkpoint: artifact %q digest %s does not match payload %s", rec.Name, rec.Digest, digest)
+	}
+	rec.Digest = digest
+	rec.Bytes = int64(len(data))
+	if err := l.writeObject(digest, data); err != nil {
+		return rec, err
+	}
+	if err := l.appendRecord(journalRecord{Kind: "artifact", Step: step, Key: key, Artifact: &rec}); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// Done records that every artifact of the step is committed, with the
+// step's external-dependency census for provenance on resume.
+func (l *Ledger) Done(step, key string, external []string) error {
+	return l.appendRecord(journalRecord{Kind: "done", Step: step, Key: key, External: external})
+}
+
+// writeObject commits a payload to objects/<digest> with the
+// temp-write → fsync → rename → dir-fsync ordering that makes the rename
+// the atomic commit point.
+func (l *Ledger) writeObject(digest string, data []byte) error {
+	objDir := filepath.Join(l.dir, objectsName)
+	final := filepath.Join(objDir, digest)
+	if existing, err := os.ReadFile(final); err == nil {
+		sum := sha256.Sum256(existing)
+		if hex.EncodeToString(sum[:]) == digest {
+			return nil // already durable, content verified
+		}
+		// Damaged object under a valid name: fall through and rewrite.
+	}
+	l.killPoint("object.create")
+	tmp, err := os.CreateTemp(objDir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp object: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	half := len(data) / 2
+	if _, err := tmp.Write(data[:half]); err != nil {
+		return fmt.Errorf("checkpoint: writing object: %w", err)
+	}
+	l.killPoint("object.torn")
+	if _, err := tmp.Write(data[half:]); err != nil {
+		return fmt.Errorf("checkpoint: writing object: %w", err)
+	}
+	l.killPoint("object.sync")
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: fsync object: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: closing object: %w", err)
+	}
+	tmp = nil
+	l.killPoint("object.rename")
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: committing object: %w", err)
+	}
+	if err := syncDir(objDir); err != nil {
+		return err
+	}
+	l.killPoint("object.durable")
+	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening %s for fsync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// Lookup returns the replayed state for a step key.
+func (l *Ledger) Lookup(key string) (StepInfo, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	info, ok := l.steps[key]
+	if !ok {
+		return StepInfo{}, false
+	}
+	return copyInfo(info), true
+}
+
+// Status returns every step the ledger knows, in first-seen order — the
+// run-status report of the pipeline executable.
+func (l *Ledger) Status() []StepInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]StepInfo, 0, len(l.order))
+	for _, key := range l.order {
+		out = append(out, copyInfo(l.steps[key]))
+	}
+	return out
+}
+
+func copyInfo(info *StepInfo) StepInfo {
+	cp := *info
+	cp.Artifacts = append([]ArtifactRecord(nil), info.Artifacts...)
+	cp.External = append([]string(nil), info.External...)
+	return cp
+}
+
+// Load reads an artifact payload back from the object store, verifying
+// fixity: the bytes must hash to the recorded digest and match the
+// recorded length. Any disagreement is a checkpoint the caller must not
+// trust.
+func (l *Ledger) Load(rec ArtifactRecord) ([]byte, error) {
+	path := filepath.Join(l.dir, objectsName, rec.Digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: artifact %q object missing: %w", rec.Name, err)
+	}
+	if int64(len(data)) != rec.Bytes {
+		return nil, fmt.Errorf("checkpoint: artifact %q is %d bytes, recorded %d", rec.Name, len(data), rec.Bytes)
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != rec.Digest {
+		return nil, fmt.Errorf("checkpoint: artifact %q fails fixity: object hashes to %s, recorded %s", rec.Name, got, rec.Digest)
+	}
+	return data, nil
+}
+
+// Verify re-hashes every artifact of a done step against its recorded
+// digest. It returns an error when the step is not done or any artifact
+// fails fixity — the signal that a resume must re-execute the step.
+func (l *Ledger) Verify(key string) error {
+	info, ok := l.Lookup(key)
+	if !ok {
+		return fmt.Errorf("checkpoint: no ledger entry for key %s", key)
+	}
+	if info.State != StepDone {
+		return fmt.Errorf("checkpoint: step %q is %s, not done", info.Step, info.State)
+	}
+	for _, rec := range info.Artifacts {
+		if _, err := l.Load(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ObjectPath returns where an artifact payload lives on disk — exposed
+// for the chaos tests that deliberately damage objects.
+func (l *Ledger) ObjectPath(digest string) string {
+	return filepath.Join(l.dir, objectsName, digest)
+}
+
+// JournalPath returns the journal file location — exposed for the chaos
+// tests that tear its final record.
+func (l *Ledger) JournalPath() string {
+	return filepath.Join(l.dir, journalName)
+}

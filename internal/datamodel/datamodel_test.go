@@ -404,3 +404,74 @@ func BenchmarkWriteRECO(b *testing.B) {
 		}
 	}
 }
+
+func TestFileWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Write(fakeRecoEvent(xrand.New(7), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := buf.Len()
+	// A second (and third) Close is a no-op: no error, and crucially no
+	// second end trailer appended to the stream.
+	if err := fw.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatalf("third Close: %v", err)
+	}
+	if buf.Len() != sealed {
+		t.Fatalf("repeated Close grew the stream: %d -> %d bytes", sealed, buf.Len())
+	}
+	if err := fw.Write(fakeRecoEvent(xrand.New(7), 2)); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+	if _, _, err := ReadEvents(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("sealed stream unreadable: %v", err)
+	}
+}
+
+func TestTruncationInsideTrailerSurfacesUnexpectedEOF(t *testing.T) {
+	// A cut that lands inside the end trailer itself — after every event
+	// decoded cleanly — must still read as truncation, not as a short but
+	// plausible file.
+	rng := xrand.New(13)
+	var events []*Event
+	for i := 0; i < 3; i++ {
+		events = append(events, fakeRecoEvent(rng, uint64(i)))
+	}
+	var headless bytes.Buffer
+	fw, err := NewFileWriter(&headless, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := fw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := headless.Len() // stream size up to, not including, the trailer
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := headless.Bytes()
+	if len(full) <= body {
+		t.Fatal("trailer added no bytes — test is vacuous")
+	}
+	for cut := body; cut < len(full); cut++ {
+		fr, err := NewFileReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		got, err := fr.ReadAll()
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d bytes into trailer read as %v (events=%d)", cut-body, err, len(got))
+		}
+	}
+}

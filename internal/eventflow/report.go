@@ -20,6 +20,23 @@ type stageStats struct {
 
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
+
+	restarts atomic.Int64
+}
+
+// tryRestart claims one worker restart from the stage's budget, reporting
+// false once the budget is spent. The counter only moves forward, so a
+// burst of concurrent failures can never over-grant.
+func (s *stageStats) tryRestart(budget int64) bool {
+	for {
+		n := s.restarts.Load()
+		if n >= budget {
+			return false
+		}
+		if s.restarts.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
 }
 
 func (p *Pipeline) addStage(name string, workers int) *stageStats {
@@ -62,6 +79,9 @@ type StageReport struct {
 	// (dispatched but not yet emitted in order). Bounded by
 	// Workers + Options.Depth: the substrate's memory guarantee.
 	MaxInFlight int64
+	// Restarts counts supervised worker restarts after transient batch
+	// failures (Options.StageRetries).
+	Restarts int64
 }
 
 // Report is the whole pipeline's execution summary.
@@ -92,6 +112,7 @@ func (p *Pipeline) Report() Report {
 			Batches:     st.batches.Load(),
 			Busy:        time.Duration(st.busy.Load()),
 			MaxInFlight: st.maxInFlight.Load(),
+			Restarts:    st.restarts.Load(),
 		})
 	}
 	return r
@@ -102,9 +123,9 @@ func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pipeline %s: wall %v\n", r.Pipeline, r.Wall.Round(time.Microsecond))
 	for _, s := range r.Stages {
-		fmt.Fprintf(&b, "  %-14s workers=%d in=%d out=%d batches=%d busy=%v maxInFlight=%d\n",
+		fmt.Fprintf(&b, "  %-14s workers=%d in=%d out=%d batches=%d busy=%v maxInFlight=%d restarts=%d\n",
 			s.Name, s.Workers, s.EventsIn, s.EventsOut, s.Batches,
-			s.Busy.Round(time.Microsecond), s.MaxInFlight)
+			s.Busy.Round(time.Microsecond), s.MaxInFlight, s.Restarts)
 	}
 	return b.String()
 }

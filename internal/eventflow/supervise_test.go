@@ -1,0 +1,161 @@
+package eventflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"daspos/internal/resilience"
+)
+
+// flakyOnce fails transiently exactly once per listed value, across all
+// workers and restarts — the transient-fault model a supervised stage
+// must absorb without perturbing output order.
+type flakyOnce struct {
+	mu     sync.Mutex
+	failOn map[int]bool
+	fails  int
+}
+
+func newFlakyOnce(values ...int) *flakyOnce {
+	f := &flakyOnce{failOn: make(map[int]bool)}
+	for _, v := range values {
+		f.failOn[v] = true
+	}
+	return f
+}
+
+func (f *flakyOnce) hit(v int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failOn[v] {
+		delete(f.failOn, v)
+		f.fails++
+		return resilience.MarkTransient(fmt.Errorf("flaky value %d", v))
+	}
+	return nil
+}
+
+func TestSupervisedStageAbsorbsTransientFailures(t *testing.T) {
+	const n = 300
+	for _, workers := range []int{1, 4} {
+		flaky := newFlakyOnce(3, 77, 151, 298)
+		p := New(context.Background(), "supervised", Options{BatchSize: 8, StageRetries: 8})
+		s := Source(p, "ints", intSource(n))
+		m := Map(s, "square", workers, func(v int) (int, bool, error) {
+			if err := flaky.hit(v); err != nil {
+				return 0, false, err
+			}
+			return v * v, true, nil
+		})
+		c := Collect(m, "collect")
+		if err := p.Wait(); err != nil {
+			t.Fatalf("workers=%d: supervised stage failed: %v", workers, err)
+		}
+		if len(c.Items) != n {
+			t.Fatalf("workers=%d: got %d items, want %d", workers, len(c.Items), n)
+		}
+		for i, v := range c.Items {
+			if v != i*i {
+				t.Fatalf("workers=%d: order lost at %d: %d != %d", workers, i, v, i*i)
+			}
+		}
+		if flaky.fails != 4 {
+			t.Fatalf("workers=%d: %d transient failures injected, want 4", workers, flaky.fails)
+		}
+		rep := p.Report()
+		var restarts int64
+		for _, st := range rep.Stages {
+			if st.Name == "square" {
+				restarts = st.Restarts
+			}
+		}
+		if restarts != 4 {
+			t.Fatalf("workers=%d: report restarts = %d, want 4", workers, restarts)
+		}
+	}
+}
+
+// TestSupervisedRestartRebuildsWorkerState proves a restarted worker gets
+// fresh per-worker state from newFn — the dead worker is replaced, not
+// revived.
+func TestSupervisedRestartRebuildsWorkerState(t *testing.T) {
+	var built sync.Map // worker → construction count
+	flaky := newFlakyOnce(10)
+	p := New(context.Background(), "rebuild", Options{BatchSize: 4, StageRetries: 2})
+	s := Source(p, "ints", intSource(40))
+	m := MapWorkers(s, "stateful", 2, func(worker int) func(int) (int, bool, error) {
+		n, _ := built.LoadOrStore(worker, new(int))
+		*n.(*int)++
+		return func(v int) (int, bool, error) {
+			if err := flaky.hit(v); err != nil {
+				return 0, false, err
+			}
+			return v + 1, true, nil
+		}
+	})
+	c := Collect(m, "collect")
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 40 {
+		t.Fatalf("got %d items", len(c.Items))
+	}
+	total := 0
+	built.Range(func(_, v any) bool { total += *v.(*int); return true })
+	if total != 3 { // 2 initial workers + 1 restart
+		t.Fatalf("newFn invoked %d times, want 3", total)
+	}
+}
+
+func TestSupervisionBudgetExhaustionFails(t *testing.T) {
+	// Every event fails transiently forever: the budget runs dry and the
+	// pipeline must surface the transient error instead of spinning.
+	p := New(context.Background(), "exhaust", Options{BatchSize: 4, StageRetries: 3})
+	s := Source(p, "ints", intSource(20))
+	m := Map(s, "doomed", 2, func(v int) (int, bool, error) {
+		return 0, false, resilience.MarkTransient(errors.New("always down"))
+	})
+	Collect(m, "collect")
+	err := p.Wait()
+	if err == nil {
+		t.Fatal("exhausted supervision budget did not fail the pipeline")
+	}
+	if !resilience.IsTransient(err) {
+		t.Fatalf("surfaced error lost its class: %v", err)
+	}
+}
+
+func TestSupervisionOffAndPermanentErrorsFailFast(t *testing.T) {
+	// Default options: supervision off, transient errors fail immediately.
+	p := New(context.Background(), "off", Options{BatchSize: 4})
+	s := Source(p, "ints", intSource(10))
+	m := Map(s, "flaky", 1, func(v int) (int, bool, error) {
+		return 0, false, resilience.MarkTransient(errors.New("blip"))
+	})
+	Collect(m, "collect")
+	if err := p.Wait(); err == nil {
+		t.Fatal("unsupervised transient error did not fail the pipeline")
+	}
+
+	// Permanent errors are never retried, whatever the budget.
+	calls := 0
+	p2 := New(context.Background(), "perm", Options{BatchSize: 4, StageRetries: 100})
+	s2 := Source(p2, "ints", intSource(10))
+	m2 := Map(s2, "broken", 1, func(v int) (int, bool, error) {
+		calls++
+		return 0, false, resilience.MarkPermanent(errors.New("validation"))
+	})
+	Collect(m2, "collect")
+	if err := p2.Wait(); err == nil {
+		t.Fatal("permanent error did not fail the pipeline")
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if rep := p2.Report(); rep.Stages[1].Restarts != 0 {
+		t.Fatalf("restarts counted for a permanent failure: %d", rep.Stages[1].Restarts)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -400,4 +402,57 @@ func BenchmarkRecastRetryOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+func TestReplayJournalDropsTornFinalRecord(t *testing.T) {
+	// Unlike the synthetic partial line in the crash test above, this tears
+	// the journal's real final record — the tail a crash mid-append leaves —
+	// with the same fault primitive the checkpoint crash-storm uses. Replay
+	// must drop the torn record, reverting that request to its previous
+	// journaled state, and keep everything before it.
+	svc, _ := newStubService(t, nil)
+	var journal bytes.Buffer
+	svc.SetJournal(&journal)
+	ids := submitApproved(t, svc, 3)
+	if _, err := svc.Process(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The final record is ids[0]'s "done" snapshot. Tear it mid-write.
+	path := filepath.Join(t.TempDir(), "journal.log")
+	if err := os.WriteFile(path, journal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.TearFinalRecord(path); err != nil {
+		t.Fatal(err)
+	}
+	torn, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(torn) >= journal.Len() {
+		t.Fatal("tear removed nothing")
+	}
+
+	restored, _ := newStubService(t, nil)
+	inflight, err := restored.ReplayJournal(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("replay rejected a torn final record: %v", err)
+	}
+	// ids[0] reverted to its last intact snapshot (approved), so all three
+	// requests are back in flight — losing the torn completion is safe
+	// because re-processing is idempotent; losing earlier records is not.
+	if len(inflight) != 3 {
+		t.Fatalf("inflight = %v, want all three requests", inflight)
+	}
+	req, err := restored.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Status != StatusApproved {
+		t.Fatalf("torn completion applied: status=%s, want approved", req.Status)
+	}
+	// The survivor replays onward: reprocessing completes normally.
+	if _, err := restored.Process(ids[0]); err != nil {
+		t.Fatal(err)
+	}
 }

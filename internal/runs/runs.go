@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"daspos/internal/datamodel"
 )
@@ -40,8 +41,10 @@ type Record struct {
 // ErrNoRun is returned for unknown run numbers.
 var ErrNoRun = errors.New("runs: no such run")
 
-// Registry is the run catalogue. Not safe for concurrent mutation.
+// Registry is the run catalogue. Safe for concurrent use: resume and
+// run-status reporting read it while the pipeline registers runs.
 type Registry struct {
+	mu   sync.RWMutex
 	runs map[uint32]*Record
 }
 
@@ -55,6 +58,8 @@ func (r *Registry) Add(run uint32, events int, lumiPb float64) error {
 	if events < 0 || lumiPb < 0 {
 		return fmt.Errorf("runs: run %d has negative extent", run)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.runs[run]; dup {
 		return fmt.Errorf("runs: run %d already registered", run)
 	}
@@ -64,6 +69,8 @@ func (r *Registry) Add(run uint32, events int, lumiPb float64) error {
 
 // Get returns a copy of a run record.
 func (r *Registry) Get(run uint32) (Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	rec, ok := r.runs[run]
 	if !ok {
 		return Record{}, false
@@ -76,6 +83,8 @@ func (r *Registry) Get(run uint32) (Record, bool) {
 // SetQuality records the DQ verdict for a run. Marking a run bad requires
 // at least one defect — an undocumented rejection is not auditable.
 func (r *Registry) SetQuality(run uint32, q Quality, defects ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	rec, ok := r.runs[run]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoRun, run)
@@ -95,6 +104,13 @@ func (r *Registry) SetQuality(run uint32, q Quality, defects ...string) error {
 
 // Runs returns all run numbers, sorted.
 func (r *Registry) Runs() []uint32 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.runsLocked()
+}
+
+// runsLocked returns all run numbers, sorted; callers hold r.mu.
+func (r *Registry) runsLocked() []uint32 {
 	out := make([]uint32, 0, len(r.runs))
 	for run := range r.runs {
 		out = append(out, run)
@@ -124,8 +140,10 @@ func (g *GoodRunList) Contains(run uint32) bool {
 // BuildGoodRunList publishes the registry's good runs under a name and
 // version.
 func (r *Registry) BuildGoodRunList(name, version string) *GoodRunList {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	g := &GoodRunList{Name: name, Version: version}
-	for _, run := range r.Runs() {
+	for _, run := range r.runsLocked() {
 		rec := r.runs[run]
 		if rec.Quality == QualityGood {
 			g.Runs = append(g.Runs, run)
@@ -172,8 +190,10 @@ func (g *GoodRunList) SelectEvents(events []*datamodel.Event) []*datamodel.Event
 
 // WriteJSON persists the registry.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var all []*Record
-	for _, run := range r.Runs() {
+	for _, run := range r.runsLocked() {
 		all = append(all, r.runs[run])
 	}
 	enc := json.NewEncoder(w)

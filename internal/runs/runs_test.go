@@ -2,8 +2,10 @@ package runs
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"daspos/internal/datamodel"
@@ -158,5 +160,59 @@ func TestRegistryJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadJSON(strings.NewReader(`[{"run":1},{"run":1}]`)); err == nil {
 		t.Fatal("duplicate runs loaded")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	// Exercised under -race in CI: writers registering and rating runs while
+	// readers walk, build good-run lists, and serialize the registry.
+	r := NewRegistry()
+	const runsPerWriter = 50
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint32(1000 * (w + 1))
+			for i := uint32(0); i < runsPerWriter; i++ {
+				run := base + i
+				if err := r.Add(run, 100, 1.0); err != nil {
+					t.Errorf("Add(%d): %v", run, err)
+					return
+				}
+				if err := r.SetQuality(run, QualityGood); err != nil {
+					t.Errorf("SetQuality(%d): %v", run, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for reader := 0; reader < 4; reader++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, run := range r.Runs() {
+					if run == 0 {
+						t.Error("zero run observed")
+						return
+					}
+				}
+				r.Get(1000)
+				r.BuildGoodRunList("physics", "race")
+				if err := r.WriteJSON(io.Discard); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Runs()); got != 4*runsPerWriter {
+		t.Fatalf("registry holds %d runs, want %d", got, 4*runsPerWriter)
+	}
+	grl := r.BuildGoodRunList("physics", "final")
+	if len(grl.Runs) != 4*runsPerWriter {
+		t.Fatalf("good-run list holds %d runs, want %d", len(grl.Runs), 4*runsPerWriter)
 	}
 }

@@ -15,6 +15,7 @@ package workflow
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -23,6 +24,7 @@ import (
 	"io"
 	"sort"
 
+	"daspos/internal/checkpoint"
 	"daspos/internal/provenance"
 )
 
@@ -55,10 +57,20 @@ func (a *Artifact) Digest() string {
 // Context is a step's window onto the run: declared inputs, produced
 // outputs, and the external-dependency ledger.
 type Context struct {
+	ctx      context.Context
 	step     *Step
 	inputs   map[string]*Artifact
 	outputs  map[string]*Artifact
 	external []string
+}
+
+// Ctx returns the run's cancellation context, so streaming steps can bind
+// their pipelines to the same lifetime as the workflow execution.
+func (c *Context) Ctx() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // Input returns a declared input artifact.
@@ -255,6 +267,9 @@ func describeProducer(p string) string {
 // StepReport summarizes one executed step.
 type StepReport struct {
 	Step string
+	// Skipped marks a step whose checkpointed outputs passed digest
+	// verification on resume, so its Run never executed.
+	Skipped bool
 	// ExternalDeps are the distinct external resources resolved, sorted.
 	ExternalDeps []string
 	// OutputBytes and OutputEvents total the step's products.
@@ -270,12 +285,48 @@ type Result struct {
 	RecordIDs map[string]string
 	// Reports are per-step summaries in execution order.
 	Reports []StepReport
+	// Executed and Skipped count steps that ran versus steps restored
+	// from a verified checkpoint.
+	Executed int
+	Skipped  int
+}
+
+// ExecOption configures one workflow execution.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	ledger *checkpoint.Ledger
+	resume bool
+}
+
+// WithCheckpoint journals every step's lifecycle into the ledger as the
+// run progresses: started, each artifact durably committed, done. A run
+// killed at any instruction leaves the ledger recoverable for ResumeFrom.
+func WithCheckpoint(l *checkpoint.Ledger) ExecOption {
+	return func(c *execConfig) { c.ledger = l }
+}
+
+// ResumeFrom continues a run from a recovered ledger: a step is skipped
+// only when the ledger records it done under the same key (step name,
+// config digest, input digests), its recorded outputs exactly match the
+// declared ones, and every artifact passes fixity (re-hash equals the
+// recorded digest). Anything less — interrupted step, torn journal tail,
+// corrupted object — re-executes the step, and the fresh execution is
+// checkpointed again.
+func ResumeFrom(l *checkpoint.Ledger) ExecOption {
+	return func(c *execConfig) { c.ledger = l; c.resume = true }
 }
 
 // Execute runs the workflow over the given primary inputs, recording
 // provenance for every artifact (including roots for the primary inputs)
-// into prov. Steps missing a Run implementation fail the run.
-func (w *Workflow) Execute(inputs map[string]*Artifact, prov *provenance.Store) (*Result, error) {
+// into prov. Steps missing a Run implementation fail the run. The context
+// bounds the whole run: cancellation is checked between steps and exposed
+// to each step via Context.Ctx.
+func (w *Workflow) Execute(ctx context.Context, inputs map[string]*Artifact, prov *provenance.Store, opts ...ExecOption) (*Result, error) {
+	var cfg execConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -304,21 +355,70 @@ func (w *Workflow) Execute(inputs map[string]*Artifact, prov *provenance.Store) 
 	res := &Result{Artifacts: make(map[string]*Artifact), RecordIDs: recordIDs}
 	for i := range w.Steps {
 		s := &w.Steps[i]
-		if s.Run == nil {
-			return nil, fmt.Errorf("workflow %q: step %q has no implementation bound", w.Name, s.Name)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("workflow %q: %w", w.Name, err)
 		}
-		ctx := &Context{step: s, inputs: pool, outputs: make(map[string]*Artifact)}
-		if err := s.Run(ctx); err != nil {
-			return nil, fmt.Errorf("workflow %q: step %q: %w", w.Name, s.Name, err)
+
+		// The checkpoint key binds the step to its exact configuration and
+		// input bytes; any drift invalidates the recorded lifecycle.
+		var key string
+		if cfg.ledger != nil {
+			inDigests := make([]string, 0, len(s.Inputs))
+			for _, in := range s.Inputs {
+				inDigests = append(inDigests, pool[in].Digest())
+			}
+			key = checkpoint.StepKey(s.Name, s.ConfigDigest(), inDigests)
 		}
+
+		var outputs map[string]*Artifact
+		var deps []string
+		skipped := false
+		if cfg.resume {
+			if restored, ext, ok := restoreStep(cfg.ledger, s, key); ok {
+				outputs, deps, skipped = restored, ext, true
+			}
+		}
+		if !skipped {
+			if s.Run == nil {
+				return nil, fmt.Errorf("workflow %q: step %q has no implementation bound", w.Name, s.Name)
+			}
+			if cfg.ledger != nil {
+				if err := cfg.ledger.Start(s.Name, key); err != nil {
+					return nil, fmt.Errorf("workflow %q: step %q: %w", w.Name, s.Name, err)
+				}
+			}
+			sctx := &Context{ctx: ctx, step: s, inputs: pool, outputs: make(map[string]*Artifact)}
+			if err := s.Run(sctx); err != nil {
+				return nil, fmt.Errorf("workflow %q: step %q: %w", w.Name, s.Name, err)
+			}
+			outputs = sctx.outputs
+			deps = dedupeSorted(sctx.external)
+			if cfg.ledger != nil {
+				for _, out := range s.Outputs {
+					a, ok := outputs[out]
+					if !ok {
+						return nil, fmt.Errorf("workflow %q: step %q did not produce declared output %q", w.Name, s.Name, out)
+					}
+					rec := checkpoint.ArtifactRecord{
+						Name: a.Name, Tier: a.Tier, Events: a.Events, Digest: a.Digest(),
+					}
+					if _, err := cfg.ledger.Commit(s.Name, key, rec, a.Data); err != nil {
+						return nil, fmt.Errorf("workflow %q: step %q: %w", w.Name, s.Name, err)
+					}
+				}
+				if err := cfg.ledger.Done(s.Name, key, deps); err != nil {
+					return nil, fmt.Errorf("workflow %q: step %q: %w", w.Name, s.Name, err)
+				}
+			}
+		}
+
 		var parents []string
 		for _, in := range s.Inputs {
 			parents = append(parents, recordIDs[in])
 		}
-		deps := dedupeSorted(ctx.external)
-		rep := StepReport{Step: s.Name, ExternalDeps: deps}
+		rep := StepReport{Step: s.Name, Skipped: skipped, ExternalDeps: deps}
 		for _, out := range s.Outputs {
-			a, ok := ctx.outputs[out]
+			a, ok := outputs[out]
 			if !ok {
 				return nil, fmt.Errorf("workflow %q: step %q did not produce declared output %q", w.Name, s.Name, out)
 			}
@@ -344,9 +444,51 @@ func (w *Workflow) Execute(inputs map[string]*Artifact, prov *provenance.Store) 
 			rep.OutputBytes += int64(len(a.Data))
 			rep.OutputEvents += a.Events
 		}
+		if skipped {
+			res.Skipped++
+		} else {
+			res.Executed++
+		}
 		res.Reports = append(res.Reports, rep)
 	}
 	return res, nil
+}
+
+// restoreStep tries to satisfy a step from the ledger. It succeeds only
+// when the step is recorded done under the key, the recorded artifacts
+// are exactly the declared outputs, and every payload passes fixity; any
+// failure reports false and the caller re-executes.
+func restoreStep(l *checkpoint.Ledger, s *Step, key string) (map[string]*Artifact, []string, bool) {
+	info, ok := l.Lookup(key)
+	if !ok || info.State != checkpoint.StepDone {
+		return nil, nil, false
+	}
+	byName := make(map[string]checkpoint.ArtifactRecord, len(info.Artifacts))
+	for _, rec := range info.Artifacts {
+		if _, dup := byName[rec.Name]; dup {
+			return nil, nil, false
+		}
+		byName[rec.Name] = rec
+	}
+	if len(byName) != len(s.Outputs) {
+		return nil, nil, false
+	}
+	outputs := make(map[string]*Artifact, len(s.Outputs))
+	for _, out := range s.Outputs {
+		rec, ok := byName[out]
+		if !ok {
+			return nil, nil, false
+		}
+		data, err := l.Load(rec)
+		if err != nil {
+			return nil, nil, false
+		}
+		outputs[out] = &Artifact{
+			Name: rec.Name, Tier: rec.Tier, Events: rec.Events, Data: data,
+			digest: rec.Digest,
+		}
+	}
+	return outputs, info.External, true
 }
 
 // Description returns the workflow's serializable preservation record:

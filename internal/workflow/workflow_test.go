@@ -2,6 +2,7 @@ package workflow
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -94,7 +95,7 @@ func TestValidateCatchesDefects(t *testing.T) {
 func TestExecuteProducesArtifactsAndProvenance(t *testing.T) {
 	w := twoStep()
 	prov := provenance.NewStore()
-	res, err := w.Execute(rawInput(), prov)
+	res, err := w.Execute(context.Background(), rawInput(), prov)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestExecuteProducesArtifactsAndProvenance(t *testing.T) {
 func TestExternalDependencyCensus(t *testing.T) {
 	w := twoStep()
 	prov := provenance.NewStore()
-	res, err := w.Execute(rawInput(), prov)
+	res, err := w.Execute(context.Background(), rawInput(), prov)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,25 +149,25 @@ func TestExternalDependencyCensus(t *testing.T) {
 func TestExecuteFailures(t *testing.T) {
 	// Missing primary input.
 	w := twoStep()
-	if _, err := w.Execute(map[string]*Artifact{}, provenance.NewStore()); err == nil {
+	if _, err := w.Execute(context.Background(), map[string]*Artifact{}, provenance.NewStore()); err == nil {
 		t.Fatal("missing input accepted")
 	}
 	// Unbound implementation.
 	w2 := twoStep()
 	w2.Steps[1].Run = nil
-	if _, err := w2.Execute(rawInput(), provenance.NewStore()); err == nil {
+	if _, err := w2.Execute(context.Background(), rawInput(), provenance.NewStore()); err == nil {
 		t.Fatal("unbound step ran")
 	}
 	// Step fails.
 	w3 := twoStep()
 	w3.Steps[0].Run = func(ctx *Context) error { return fmt.Errorf("boom") }
-	if _, err := w3.Execute(rawInput(), provenance.NewStore()); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := w3.Execute(context.Background(), rawInput(), provenance.NewStore()); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("step failure not propagated: %v", err)
 	}
 	// Step forgets to produce a declared output.
 	w4 := twoStep()
 	w4.Steps[0].Run = func(ctx *Context) error { return nil }
-	if _, err := w4.Execute(rawInput(), provenance.NewStore()); err == nil {
+	if _, err := w4.Execute(context.Background(), rawInput(), provenance.NewStore()); err == nil {
 		t.Fatal("missing output accepted")
 	}
 }
@@ -194,7 +195,7 @@ func TestContextEnforcesDeclarations(t *testing.T) {
 			},
 		}},
 	}
-	if _, err := w.Execute(map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore()); err != nil {
+	if _, err := w.Execute(context.Background(), map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -218,7 +219,7 @@ func TestConfigChangesProvenance(t *testing.T) {
 		w := twoStep()
 		w.Steps[0].Config["minpt"] = minpt
 		prov := provenance.NewStore()
-		res, err := w.Execute(rawInput(), prov)
+		res, err := w.Execute(context.Background(), rawInput(), prov)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,7 +247,7 @@ func TestDescriptionRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: %+v", got)
 	}
 	// Implementations are not serialized; execution must fail until bound.
-	if _, err := got.Execute(rawInput(), provenance.NewStore()); err == nil {
+	if _, err := got.Execute(context.Background(), rawInput(), provenance.NewStore()); err == nil {
 		t.Fatal("deserialized workflow ran without binding")
 	}
 	if err := got.BindImpl("reco", passthrough("raw", "reco-out", "RECO")); err != nil {
@@ -258,7 +259,7 @@ func TestDescriptionRoundTrip(t *testing.T) {
 	if err := got.BindImpl("nope", nil); err == nil {
 		t.Fatal("bound to phantom step")
 	}
-	res, err := got.Execute(rawInput(), provenance.NewStore())
+	res, err := got.Execute(context.Background(), rawInput(), provenance.NewStore())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestReproducibleExecution(t *testing.T) {
 	runIDs := func() map[string]string {
 		w := twoStep()
 		prov := provenance.NewStore()
-		res, err := w.Execute(rawInput(), prov)
+		res, err := w.Execute(context.Background(), rawInput(), prov)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -407,7 +408,7 @@ func TestStreamOutputHashesOnTheFly(t *testing.T) {
 		}},
 	}
 	prov := provenance.NewStore()
-	res, err := w.Execute(map[string]*Artifact{"in": {Name: "in", Data: []byte("payload")}}, prov)
+	res, err := w.Execute(context.Background(), map[string]*Artifact{"in": {Name: "in", Data: []byte("payload")}}, prov)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,15 +464,61 @@ func TestStreamOutputMisuse(t *testing.T) {
 			},
 		}},
 	}
-	if _, err := w.Execute(map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore()); err != nil {
+	if _, err := w.Execute(context.Background(), map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestArtifactWriterSealedStateImmutable pins down that a sealed writer
+// is inert: the rejected late Write and double Commit must not leak into
+// the published artifact's bytes, digest, or event count.
+func TestArtifactWriterSealedStateImmutable(t *testing.T) {
+	w := &Workflow{
+		Name:          "sealed",
+		PrimaryInputs: []string{"in"},
+		Steps: []Step{{
+			Name: "s", Inputs: []string{"in"}, Outputs: []string{"out"},
+			Run: func(ctx *Context) error {
+				aw, err := ctx.StreamOutput("out", "AOD")
+				if err != nil {
+					return err
+				}
+				if _, err := io.WriteString(aw, "committed bytes"); err != nil {
+					return err
+				}
+				if err := aw.Commit(7); err != nil {
+					return err
+				}
+				if n, err := aw.Write([]byte("tail that must not land")); err == nil || n != 0 {
+					return fmt.Errorf("write after Commit: n=%d err=%v", n, err)
+				}
+				if err := aw.Commit(99); err == nil {
+					return fmt.Errorf("double Commit accepted")
+				}
+				return nil
+			},
+		}},
+	}
+	res, err := w.Execute(context.Background(), map[string]*Artifact{"in": {Name: "in"}}, provenance.NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Artifacts["out"]
+	if string(a.Data) != "committed bytes" {
+		t.Fatalf("sealed artifact mutated: %q", a.Data)
+	}
+	if a.Events != 7 {
+		t.Fatalf("events overwritten by rejected Commit: %d", a.Events)
+	}
+	if want := (&Artifact{Data: []byte("committed bytes")}).Digest(); a.Digest() != want {
+		t.Fatalf("digest drifted: %s != %s", a.Digest(), want)
 	}
 }
 
 func BenchmarkExecuteTwoStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		w := twoStep()
-		if _, err := w.Execute(rawInput(), provenance.NewStore()); err != nil {
+		if _, err := w.Execute(context.Background(), rawInput(), provenance.NewStore()); err != nil {
 			b.Fatal(err)
 		}
 	}
