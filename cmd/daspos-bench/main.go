@@ -1,0 +1,395 @@
+// Command daspos-bench measures the hot paths of the preservation chain —
+// the serialize→digest→store pipeline, the v3 event codec against the gob
+// baseline, and parallel CAS ingest — at fixed seeds, and writes the
+// results as BENCH_pipeline.json so successive changes leave a recorded
+// performance trajectory instead of anecdotes.
+//
+// Every measurement runs under testing.Benchmark, so ns/op, allocs/op and
+// B/op come from the standard harness. The event sample is produced once
+// by the real chain (generate → simulate → digitize → reconstruct) before
+// any clock starts.
+//
+// Usage:
+//
+//	daspos-bench [-events N] [-seed S] [-workers 1,2,4,8]
+//	             [-out BENCH_pipeline.json] [-short]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"daspos/internal/cas"
+	"daspos/internal/conditions"
+	"daspos/internal/datamodel"
+	"daspos/internal/detector"
+	"daspos/internal/eventflow"
+	"daspos/internal/generator"
+	"daspos/internal/rawdata"
+	"daspos/internal/reco"
+	"daspos/internal/sim"
+)
+
+// result is one benchmark entry of the BENCH_pipeline.json report.
+type result struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"alloc_bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	MBPerSec     float64 `json:"mb_per_sec,omitempty"`
+}
+
+// report is the whole JSON document.
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Events     int      `json:"events"`
+	Seed       uint64   `json:"seed"`
+	Short      bool     `json:"short"`
+	Unix       int64    `json:"generated_unix"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daspos-bench: ")
+	events := flag.Int("events", 200, "events in the benchmark sample")
+	seed := flag.Uint64("seed", 42, "generator and simulation seed")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the pipeline benchmark")
+	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
+	short := flag.Bool("short", false, "smoke mode: small sample, fewer worker counts")
+	flag.Parse()
+
+	workers, err := parseWorkers(*workersList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *short {
+		if *events > 60 {
+			*events = 60
+		}
+		workers = []int{1, 4}
+	}
+
+	log.Printf("generating %d-event RECO sample (seed %d)...", *events, *seed)
+	sample := makeSample(*events, *seed)
+	log.Printf("sample ready: %d reconstructed events", len(sample))
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Events:     len(sample),
+		Seed:       *seed,
+		Short:      *short,
+		Unix:       time.Now().Unix(),
+	}
+
+	for _, w := range workers {
+		rep.Results = append(rep.Results, benchPipeline(sample, w))
+	}
+	rep.Results = append(rep.Results,
+		benchCodecEncode(sample, "codec/encode/gob", encodeGob),
+		benchCodecEncode(sample, "codec/encode/v3", encodeV3),
+		benchCodecDecode(sample, "codec/decode/gob"),
+		benchCodecDecode(sample, "codec/decode/v3"),
+	)
+	for _, g := range []int{1, 4, 8} {
+		rep.Results = append(rep.Results,
+			benchCASPut(fmt.Sprintf("cas/put/mem/goroutines=%d", g), func() cas.Backend { return cas.NewMemBackend() }, g),
+			benchCASPut(fmt.Sprintf("cas/put/sharded/goroutines=%d", g), func() cas.Backend { return cas.NewShardedBackend(0) }, g),
+		)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		extra := ""
+		if r.EventsPerSec > 0 {
+			extra = fmt.Sprintf("  %.0f events/s", r.EventsPerSec)
+		}
+		if r.MBPerSec > 0 {
+			extra += fmt.Sprintf("  %.1f MB/s", r.MBPerSec)
+		}
+		log.Printf("%-32s %12.0f ns/op %8d allocs/op%s", r.Name, r.NsPerOp, r.AllocsPerOp, extra)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
+}
+
+// makeSample runs the real front of the chain once — generation, full
+// simulation, digitization, reconstruction — to produce a deterministic
+// RECO sample for the timed sections.
+func makeSample(events int, seed uint64) []*datamodel.Event {
+	det := detector.Standard()
+	db := conditions.NewDB()
+	if err := conditions.SeedStandard(db, "bench", 1, 100, 10, seed); err != nil {
+		log.Fatal(err)
+	}
+	snap := db.Snapshot("bench", 1)
+	gen, err := generator.New(generator.ProcDrellYanZ, generator.DefaultConfig(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := sim.NewFullSim(det, seed)
+	rc := reco.New(det)
+	var out []*datamodel.Event
+	for i := 0; i < events; i++ {
+		raw := rawdata.Digitize(1, full.Simulate(gen.Generate()))
+		ev, err := rc.Reconstruct(raw, snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// benchPipeline measures the tentpole path: RECO events stream through an
+// eventflow slim stage with the given worker count, the v3 writer
+// serializes the AOD tier, and the bytes flow through a pipe into
+// cas.PutReader — digest and compression in the same single pass — over a
+// sharded backend.
+func benchPipeline(sample []*datamodel.Event, workers int) result {
+	var outBytes int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store := cas.NewStoreWith(cas.NewShardedBackend(0))
+			pr, pw := io.Pipe()
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := store.PutReader(pr)
+				done <- err
+			}()
+			fw, err := datamodel.NewFileWriter(pw, datamodel.TierAOD)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx := 0
+			p := eventflow.New(context.Background(), "bench", eventflow.Options{BatchSize: 32})
+			src := eventflow.Source(p, "reco-src", func() (*datamodel.Event, error) {
+				if idx >= len(sample) {
+					return nil, io.EOF
+				}
+				e := sample[idx]
+				idx++
+				return e, nil
+			})
+			aodS := eventflow.Map(src, "slim", workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
+				return e.SlimToAOD(), true, nil
+			})
+			eventflow.SinkBatch(aodS, "aod-write", func(items []*datamodel.Event) error {
+				for _, e := range items {
+					if err := fw.Write(e); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err := p.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			if err := fw.Close(); err != nil {
+				b.Fatal(err)
+			}
+			pw.Close()
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				n, _ := datamodel.EncodedSize(datamodel.TierAOD, slimAll(sample))
+				outBytes = n
+			}
+		}
+		b.SetBytes(outBytes)
+	})
+	return mkResult(fmt.Sprintf("pipeline/workers=%d", workers), r, len(sample), outBytes)
+}
+
+func slimAll(sample []*datamodel.Event) []*datamodel.Event {
+	out := make([]*datamodel.Event, len(sample))
+	for i, e := range sample {
+		out[i] = e.SlimToAOD()
+	}
+	return out
+}
+
+// encodeV3 serializes the sample with the production v3 writer.
+func encodeV3(w io.Writer, sample []*datamodel.Event) (int64, error) {
+	return datamodel.WriteEvents(w, datamodel.TierRECO, sample)
+}
+
+// encodeGob serializes the sample with the gob baseline the v3 codec
+// replaced, for the trajectory comparison.
+func encodeGob(w io.Writer, sample []*datamodel.Event) (int64, error) {
+	cw := &countingWriter{w: w}
+	enc := gob.NewEncoder(cw)
+	for _, e := range sample {
+		if err := enc.Encode(e); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func benchCodecEncode(sample []*datamodel.Event, name string, fn func(io.Writer, []*datamodel.Event) (int64, error)) result {
+	var size int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n, err := fn(io.Discard, sample)
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = n
+		}
+		b.SetBytes(size)
+	})
+	return mkResult(name, r, len(sample), size)
+}
+
+func benchCodecDecode(sample []*datamodel.Event, name string) result {
+	var buf bytes.Buffer
+	var size int64
+	isGob := strings.HasSuffix(name, "gob")
+	if isGob {
+		n, err := encodeGob(&buf, sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size = n
+	} else {
+		n, err := datamodel.WriteEvents(&buf, datamodel.TierRECO, sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size = n
+	}
+	data := buf.Bytes()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			if isGob {
+				dec := gob.NewDecoder(bytes.NewReader(data))
+				for j := 0; j < len(sample); j++ {
+					var e datamodel.Event
+					if err := dec.Decode(&e); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				if _, _, err := datamodel.ReadEvents(bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return mkResult(name, r, len(sample), size)
+}
+
+// benchCASPut measures parallel ingest of distinct 16 KiB payloads with g
+// writer goroutines over the given backend.
+func benchCASPut(name string, mk func() cas.Backend, g int) result {
+	const blobSize = 16 << 10
+	base := bytes.Repeat([]byte("daspos tier payload "), blobSize/20+1)[:blobSize]
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(blobSize)
+		s := cas.NewStoreWith(mk())
+		next := make(chan int, g)
+		done := make(chan error, g)
+		for w := 0; w < g; w++ {
+			go func() {
+				buf := append([]byte(nil), base...)
+				for i := range next {
+					copy(buf, fmt.Sprintf("%020d", i))
+					if _, err := s.Put(buf); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < g; w++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkResult(name, r, 0, blobSize)
+}
+
+func mkResult(name string, r testing.BenchmarkResult, events int, bytesPerOp int64) result {
+	res := result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	secPerOp := res.NsPerOp / 1e9
+	if secPerOp > 0 {
+		if events > 0 {
+			res.EventsPerSec = float64(events) / secPerOp
+		}
+		if bytesPerOp > 0 {
+			res.MBPerSec = float64(bytesPerOp) / secPerOp / 1e6
+		}
+	}
+	return res
+}

@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"daspos/internal/cas"
 	"daspos/internal/datamodel"
@@ -86,15 +88,22 @@ var (
 	ErrNoFile    = errors.New("archive: no such file in package")
 )
 
-// Archive is the package store. It is not safe for concurrent mutation.
+// Archive is the package store. It is safe for concurrent use: the
+// package index is mutex-guarded and the blob store underneath is
+// concurrency-safe, so parallel ingest, replication, and fixity sweeps
+// can share one archive.
 type Archive struct {
-	blobs    *cas.Store
+	blobs *cas.Store
+
+	mu       sync.RWMutex
 	packages map[string]*Package
 }
 
-// New returns an empty archive over an in-memory blob store.
+// New returns an empty archive over an in-memory blob store. The store's
+// backend is sharded so parallel ingest, replication, and fixity sweeps
+// do not serialize on a single lock.
 func New() *Archive {
-	return NewWithStore(cas.NewStore())
+	return NewWithStore(cas.NewStoreWith(cas.NewShardedBackend(0)))
 }
 
 // NewWithStore returns an empty archive over a caller-supplied blob store
@@ -144,22 +153,35 @@ func (a *Archive) Ingest(meta Metadata, files map[string][]byte) (string, error)
 	}
 	id := cas.Digest(manifest)
 	pkg.Metadata.ID = id
-	if _, dup := a.packages[id]; dup {
+	if !a.adopt(pkg) {
 		return "", fmt.Errorf("archive: identical package already ingested (%s)", id)
 	}
-	a.packages[id] = pkg
 	return id, nil
+}
+
+// adopt registers an already-built package under its ID, reporting whether
+// it was new. The single write path into the package index.
+func (a *Archive) adopt(pkg *Package) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.packages[pkg.Metadata.ID]; dup {
+		return false
+	}
+	a.packages[pkg.Metadata.ID] = pkg
+	return true
 }
 
 // Get returns the package with the given ID.
 func (a *Archive) Get(id string) (*Package, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	p, ok := a.packages[id]
 	return p, ok
 }
 
 // Fetch retrieves one payload file with fixity checking.
 func (a *Archive) Fetch(id, path string) ([]byte, error) {
-	pkg, ok := a.packages[id]
+	pkg, ok := a.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoPackage, id)
 	}
@@ -176,7 +198,7 @@ func (a *Archive) Fetch(id, path string) ([]byte, error) {
 
 // VerifyPackage fixity-checks every file of a package.
 func (a *Archive) VerifyPackage(id string) error {
-	pkg, ok := a.packages[id]
+	pkg, ok := a.Get(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoPackage, id)
 	}
@@ -202,21 +224,65 @@ type VerifyReport struct {
 
 // VerifyAll fixity-checks every package — the scheduled integrity audit a
 // level-5 maturity rating requires ("disaster recovery plans are routinely
-// tested and shown to be effective").
+// tested and shown to be effective"). The audit decompresses and rehashes
+// every blob, so it fans out across GOMAXPROCS workers.
 func (a *Archive) VerifyAll() VerifyReport {
-	rep := VerifyReport{Packages: len(a.packages), Damaged: make(map[string]string)}
-	for _, id := range a.IDs() {
-		if err := a.VerifyPackage(id); err != nil {
-			rep.Damaged[id] = err.Error()
-		} else {
-			rep.Healthy++
-		}
+	return a.VerifyAllWorkers(runtime.GOMAXPROCS(0))
+}
+
+// VerifyAllWorkers is VerifyAll with an explicit worker count (minimum 1).
+func (a *Archive) VerifyAllWorkers(workers int) VerifyReport {
+	ids := a.IDs()
+	rep := VerifyReport{Packages: len(ids), Damaged: make(map[string]string)}
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for _, id := range ids {
+			if err := a.VerifyPackage(id); err != nil {
+				rep.Damaged[id] = err.Error()
+			} else {
+				rep.Healthy++
+			}
+		}
+		return rep
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	next := make(chan string)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for id := range next {
+				err := a.VerifyPackage(id)
+				mu.Lock()
+				if err != nil {
+					rep.Damaged[id] = err.Error()
+				} else {
+					rep.Healthy++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, id := range ids {
+		next <- id
+	}
+	close(next)
+	wg.Wait()
 	return rep
 }
 
 // IDs returns the sorted package IDs.
 func (a *Archive) IDs() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	out := make([]string, 0, len(a.packages))
 	for id := range a.packages {
 		out = append(out, id)
@@ -227,9 +293,12 @@ func (a *Archive) IDs() []string {
 
 // List returns metadata for every package, sorted by ID.
 func (a *Archive) List() []Metadata {
-	out := make([]Metadata, 0, len(a.packages))
-	for _, id := range a.IDs() {
-		out = append(out, a.packages[id].Metadata)
+	ids := a.IDs()
+	out := make([]Metadata, 0, len(ids))
+	for _, id := range ids {
+		if pkg, ok := a.Get(id); ok {
+			out = append(out, pkg.Metadata)
+		}
 	}
 	return out
 }
@@ -241,7 +310,11 @@ func (a *Archive) Search(query string, level datamodel.DPHEPLevel) []Metadata {
 	q := strings.ToLower(query)
 	var out []Metadata
 	for _, id := range a.IDs() {
-		m := a.packages[id].Metadata
+		pkg, ok := a.Get(id)
+		if !ok {
+			continue
+		}
+		m := pkg.Metadata
 		if level != 0 && m.Level != level {
 			continue
 		}
@@ -271,7 +344,9 @@ type persisted struct {
 func (a *Archive) Persist(w io.Writer) error {
 	idx := persisted{}
 	for _, id := range a.IDs() {
-		idx.Packages = append(idx.Packages, a.packages[id])
+		if pkg, ok := a.Get(id); ok {
+			idx.Packages = append(idx.Packages, pkg)
+		}
 	}
 	head, err := json.Marshal(idx)
 	if err != nil {

@@ -3,6 +3,7 @@ package archive
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"daspos/internal/resilience"
@@ -70,7 +71,7 @@ func CopyPackageCtx(ctx context.Context, dst, src *Archive, id string, pol resil
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoPackage, id)
 	}
-	if _, exists := dst.packages[id]; exists {
+	if _, exists := dst.Get(id); exists {
 		return nil
 	}
 	cp := &Package{Metadata: pkg.Metadata, Files: append([]File(nil), pkg.Files...)}
@@ -79,7 +80,9 @@ func CopyPackageCtx(ctx context.Context, dst, src *Archive, id string, pol resil
 			return fmt.Errorf("archive: replicating %s: %w", id, err)
 		}
 	}
-	dst.packages[id] = cp
+	// Concurrent copies of the same package race benignly: blob puts are
+	// idempotent and exactly one adopt registers the package.
+	dst.adopt(cp)
 	return nil
 }
 
@@ -90,11 +93,13 @@ func Replicate(dst, src *Archive) (int, error) {
 }
 
 // ReplicateCtx is Replicate under a caller-supplied context and retry
-// policy.
+// policy. Packages are copied one at a time in ID order, so the retry
+// trace is deterministic under a seeded fault injector; ReplicateWorkers
+// is the throughput-oriented parallel variant.
 func ReplicateCtx(ctx context.Context, dst, src *Archive, pol resilience.Policy) (int, error) {
 	copied := 0
 	for _, id := range src.IDs() {
-		if _, exists := dst.packages[id]; exists {
+		if _, exists := dst.Get(id); exists {
 			continue
 		}
 		if err := CopyPackageCtx(ctx, dst, src, id, pol); err != nil {
@@ -103,6 +108,70 @@ func ReplicateCtx(ctx context.Context, dst, src *Archive, pol resilience.Policy)
 		copied++
 	}
 	return copied, nil
+}
+
+// ReplicateWorkers copies every package from src that dst is missing,
+// fanning the per-package copies across the given number of workers
+// (minimum 1) under the default retry policy. It returns the number of
+// packages copied; on error it still reports how many completed. Blob
+// traffic to the succession site is latency- and CPU-bound, so bulk
+// synchronization scales with workers when the destination store's
+// backend is sharded.
+func ReplicateWorkers(ctx context.Context, dst, src *Archive, workers int) (int, error) {
+	pol := DefaultReplicationPolicy()
+	var missing []string
+	for _, id := range src.IDs() {
+		if _, exists := dst.Get(id); !exists {
+			missing = append(missing, id)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	if workers <= 1 {
+		copied := 0
+		for _, id := range missing {
+			if err := CopyPackageCtx(ctx, dst, src, id, pol); err != nil {
+				return copied, err
+			}
+			copied++
+		}
+		return copied, nil
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		copied   int
+		wg       sync.WaitGroup
+	)
+	next := make(chan string)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for id := range next {
+				err := CopyPackageCtx(ctx, dst, src, id, pol)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					copied++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, id := range missing {
+		next <- id
+	}
+	close(next)
+	wg.Wait()
+	return copied, firstErr
 }
 
 // Repair restores damaged packages in a from a healthy replica with the

@@ -2,8 +2,11 @@ package archive
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"testing"
 
+	"daspos/internal/cas"
 	"daspos/internal/datamodel"
 )
 
@@ -117,5 +120,62 @@ func TestRepairFailsWithoutReplica(t *testing.T) {
 	empty := New()
 	if _, err := Repair(primary, empty); err == nil {
 		t.Fatal("repair succeeded without a replica")
+	}
+}
+
+func manyPackageArchive(t *testing.T, n int) (*Archive, []string) {
+	t.Helper()
+	a := NewWithStore(cas.NewStoreWith(cas.NewShardedBackend(0)))
+	var ids []string
+	for i := 0; i < n; i++ {
+		m := sampleMeta()
+		m.Title = fmt.Sprintf("capsule %02d", i)
+		m.EnvManifest, m.Provenance = "", ""
+		id, err := a.Ingest(m, map[string][]byte{
+			"events.json": bytes.Repeat([]byte(fmt.Sprintf("evt-%02d ", i)), 2000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return a, ids
+}
+
+func TestReplicateWorkersMatchesSequential(t *testing.T) {
+	src, ids := manyPackageArchive(t, 12)
+	dst := NewWithStore(cas.NewStoreWith(cas.NewShardedBackend(0)))
+	n, err := ReplicateWorkers(context.Background(), dst, src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(ids) {
+		t.Fatalf("copied %d, want %d", n, len(ids))
+	}
+	for _, id := range ids {
+		if err := dst.VerifyPackage(id); err != nil {
+			t.Fatalf("replica package %s: %v", id, err)
+		}
+	}
+	// A second pass finds nothing to do.
+	n, err = ReplicateWorkers(context.Background(), dst, src, 8)
+	if err != nil || n != 0 {
+		t.Fatalf("idempotent pass: copied %d, err %v", n, err)
+	}
+}
+
+func TestParallelVerifyAllFindsDamage(t *testing.T) {
+	a, ids := manyPackageArchive(t, 10)
+	victim := ids[4]
+	pkg, _ := a.Get(victim)
+	if err := a.CorruptBlob(pkg.Files[0].Digest); err != nil {
+		t.Fatal(err)
+	}
+	rep := a.VerifyAllWorkers(8)
+	if rep.Packages != 10 || rep.Healthy != 9 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, ok := rep.Damaged[victim]; !ok {
+		t.Fatalf("damaged map %v missing %s", rep.Damaged, victim)
 	}
 }

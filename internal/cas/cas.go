@@ -23,6 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"sync"
 )
 
 // ErrNotFound is returned when a digest is not in the store.
@@ -105,40 +108,145 @@ func NewStoreWith(b Backend) *Store { return &Store{backend: b} }
 // replica's verified bytes and writes them back to the primary.
 func (s *Store) SetReplica(b Backend) { s.replica = b }
 
-// compress deflates a payload.
-func compress(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+// Stored blobs are framed with a one-byte encoding marker so the store
+// can skip deflate for payloads it cannot shrink (already-compressed or
+// high-entropy banks) instead of paying the CPU twice — once to inflate
+// the size, once to undo it on every read.
+const (
+	blobRaw     byte = 0 // payload stored verbatim
+	blobDeflate byte = 1 // payload deflate-compressed
+)
+
+// minCompressSize is the payload size below which compression is not even
+// attempted: the deflate header overhead dominates and the marker-framed
+// raw form is already optimal.
+const minCompressSize = 128
+
+// flateWriterPool recycles deflate writers: flate.NewWriter allocates
+// tens of kilobytes of window state per call, which used to be paid for
+// every single Put.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		zw, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return zw
+	},
+}
+
+// blobBufPool recycles the scratch buffers the single-pass Put path
+// compresses into.
+var blobBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// encodeBlob produces the marker-framed stored form of a payload into a
+// pooled buffer: deflate when it shrinks the payload, verbatim otherwise.
+// The returned buffer must be handed back via blobBufPool after the
+// backend has copied it.
+func encodeBlob(data []byte) (*bytes.Buffer, error) {
+	buf := blobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.Grow(len(data) + 1)
+	if len(data) >= minCompressSize {
+		buf.WriteByte(blobDeflate)
+		zw := flateWriterPool.Get().(*flate.Writer)
+		zw.Reset(buf)
+		_, werr := zw.Write(data)
+		cerr := zw.Close()
+		flateWriterPool.Put(zw)
+		if werr != nil {
+			blobBufPool.Put(buf)
+			return nil, werr
+		}
+		if cerr != nil {
+			blobBufPool.Put(buf)
+			return nil, cerr
+		}
+		if buf.Len()-1 < len(data) {
+			return buf, nil
+		}
+		// Incompressible: fall through and store verbatim.
+		buf.Reset()
+	}
+	buf.WriteByte(blobRaw)
+	buf.Write(data)
+	return buf, nil
+}
+
+// storeBlob frames, (maybe) compresses, and writes one payload that is
+// known to be absent from the backend.
+func (s *Store) storeBlob(digest string, data []byte) error {
+	buf, err := encodeBlob(data)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if _, err := zw.Write(data); err != nil {
-		return nil, err
+	err = s.backend.PutBlob(digest, buf.Bytes(), int64(len(data)))
+	blobBufPool.Put(buf)
+	if err != nil {
+		return fmt.Errorf("cas: storing %s: %w", digest, err)
 	}
-	if err := zw.Close(); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return nil
 }
 
 // Put stores a payload and returns its digest. Duplicate content is a
-// no-op returning the same digest.
+// no-op returning the same digest — detected before any compression work
+// is spent. It is a thin wrapper over the single-pass store path.
 func (s *Store) Put(data []byte) (string, error) {
 	d := Digest(data)
 	if s.backend.HasBlob(d) {
 		return d, nil
 	}
-	comp, err := compress(data)
-	if err != nil {
-		return "", err
-	}
-	if err := s.backend.PutBlob(d, comp, int64(len(data))); err != nil {
-		return "", fmt.Errorf("cas: storing %s: %w", d, err)
-	}
-	return d, nil
+	return d, s.storeBlob(d, data)
 }
 
-// decodeVerified decompresses and fixity-checks one backend read.
+// PutReader stores a payload from a stream in a single pass: the bytes
+// are read once, feeding the SHA-256 digest, the raw copy, and the
+// deflate compressor simultaneously through an io.MultiWriter. It returns
+// the digest and the logical (uncompressed) size. Duplicate content is
+// detected after the pass and not stored twice.
+func (s *Store) PutReader(r io.Reader) (string, int64, error) {
+	raw := blobBufPool.Get().(*bytes.Buffer)
+	raw.Reset()
+	defer blobBufPool.Put(raw)
+
+	comp := blobBufPool.Get().(*bytes.Buffer)
+	comp.Reset()
+	comp.WriteByte(blobDeflate)
+	zw := flateWriterPool.Get().(*flate.Writer)
+	zw.Reset(comp)
+
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(h, raw, zw), r)
+	cerr := zw.Close()
+	flateWriterPool.Put(zw)
+	defer blobBufPool.Put(comp)
+	if err != nil {
+		return "", n, fmt.Errorf("cas: reading payload: %w", err)
+	}
+	if cerr != nil {
+		return "", n, cerr
+	}
+	d := hex.EncodeToString(h.Sum(nil))
+	if s.backend.HasBlob(d) {
+		return d, n, nil
+	}
+	blob := comp.Bytes()
+	if int64(comp.Len()-1) >= n {
+		// Incompressible stream: store the raw copy instead.
+		raw2 := blobBufPool.Get().(*bytes.Buffer)
+		raw2.Reset()
+		raw2.WriteByte(blobRaw)
+		raw2.Write(raw.Bytes())
+		blob = raw2.Bytes()
+		defer blobBufPool.Put(raw2)
+	}
+	if err := s.backend.PutBlob(d, blob, n); err != nil {
+		return "", n, fmt.Errorf("cas: storing %s: %w", d, err)
+	}
+	return d, n, nil
+}
+
+// decodeVerified decodes the marker-framed blob and fixity-checks one
+// backend read.
 func decodeVerified(b Backend, digest string) (data, comp []byte, logical int64, err error) {
 	comp, logical, err = b.GetBlob(digest)
 	if err != nil {
@@ -147,13 +255,26 @@ func decodeVerified(b Backend, digest string) (data, comp []byte, logical int64,
 		}
 		return nil, nil, 0, fmt.Errorf("cas: reading %s: %w", digest, err)
 	}
-	zr := flate.NewReader(bytes.NewReader(comp))
-	data, derr := io.ReadAll(zr)
-	if derr != nil {
-		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
+	if len(comp) == 0 {
+		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("empty stored blob")}
 	}
-	if cerr := zr.Close(); cerr != nil {
-		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: cerr}
+	switch comp[0] {
+	case blobRaw:
+		// Copy: backends may return their stored slice, and callers own
+		// the payload they get back.
+		data = append([]byte(nil), comp[1:]...)
+	case blobDeflate:
+		zr := flate.NewReader(bytes.NewReader(comp[1:]))
+		var derr error
+		data, derr = io.ReadAll(zr)
+		if derr != nil {
+			return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
+		}
+		if cerr := zr.Close(); cerr != nil {
+			return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: cerr}
+		}
+	default:
+		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("unknown blob encoding 0x%02x", comp[0])}
 	}
 	if actual := Digest(data); actual != digest {
 		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Actual: actual}
@@ -232,15 +353,57 @@ func (s *Store) Stats() Stats {
 }
 
 // VerifyAll fixity-checks every primary blob and returns the digests that
-// failed. It deliberately bypasses replica fallback: an audit must see
-// primary damage even when reads would be served transparently.
+// failed, sorted. It deliberately bypasses replica fallback: an audit must
+// see primary damage even when reads would be served transparently. The
+// sweep fans out across GOMAXPROCS workers — decompress-and-rehash is CPU
+// bound, so archive-scale audits scale with cores.
 func (s *Store) VerifyAll() []string {
-	var bad []string
-	for _, d := range s.backend.Digests() {
-		if _, err := s.GetPrimary(d); err != nil {
-			bad = append(bad, d)
-		}
+	return s.VerifyAllWorkers(runtime.GOMAXPROCS(0))
+}
+
+// VerifyAllWorkers is VerifyAll with an explicit worker count (minimum 1).
+func (s *Store) VerifyAllWorkers(workers int) []string {
+	digests := s.backend.Digests()
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(digests) {
+		workers = len(digests)
+	}
+	if workers <= 1 {
+		var bad []string
+		for _, d := range digests {
+			if _, err := s.GetPrimary(d); err != nil {
+				bad = append(bad, d)
+			}
+		}
+		return bad
+	}
+	var (
+		mu   sync.Mutex
+		bad  []string
+		wg   sync.WaitGroup
+		next = make(chan string)
+	)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for d := range next {
+				if _, err := s.GetPrimary(d); err != nil {
+					mu.Lock()
+					bad = append(bad, d)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, d := range digests {
+		next <- d
+	}
+	close(next)
+	wg.Wait()
+	sort.Strings(bad)
 	return bad
 }
 

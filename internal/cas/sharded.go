@@ -1,0 +1,118 @@
+package cas
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ShardedBackend stripes blobs across N independently locked in-memory
+// shards, keyed by digest prefix. A single-mutex MemBackend serializes
+// every Put behind one lock; under the parallel ingest paths (streaming
+// workers, fixity sweeps, archive replication) that lock is the
+// bottleneck. Striping turns it into N uncontended locks — writers
+// touching different shards never wait on each other, and the store's
+// semantics are unchanged because a digest always maps to the same shard.
+type ShardedBackend struct {
+	shards []*MemBackend
+}
+
+// DefaultShards is the shard count NewShardedBackend uses when asked for
+// an automatic size: enough stripes that GOMAXPROCS writers rarely
+// collide, rounded up to a power of two so the selector is a mask.
+func DefaultShards() int {
+	n := 1
+	for n < 4*runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	return n
+}
+
+// NewShardedBackend returns an empty backend striped across n shards.
+// n < 1 selects DefaultShards(). Counts that are not powers of two are
+// rounded up so shard selection stays a bit mask.
+func NewShardedBackend(n int) *ShardedBackend {
+	if n < 1 {
+		n = DefaultShards()
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	shards := make([]*MemBackend, pow)
+	for i := range shards {
+		shards[i] = NewMemBackend()
+	}
+	return &ShardedBackend{shards: shards}
+}
+
+// shard maps a digest to its stripe with an FNV-1a hash of the digest
+// string. Hashing (rather than slicing leading hex characters) keeps the
+// spread uniform for any digest scheme a future backend might store.
+func (s *ShardedBackend) shard(digest string) *MemBackend {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(digest); i++ {
+		h ^= uint32(digest[i])
+		h *= prime32
+	}
+	return s.shards[h&uint32(len(s.shards)-1)]
+}
+
+// Shards returns the stripe count.
+func (s *ShardedBackend) Shards() int { return len(s.shards) }
+
+// PutBlob implements Backend.
+func (s *ShardedBackend) PutBlob(digest string, comp []byte, logical int64) error {
+	return s.shard(digest).PutBlob(digest, comp, logical)
+}
+
+// GetBlob implements Backend.
+func (s *ShardedBackend) GetBlob(digest string) ([]byte, int64, error) {
+	return s.shard(digest).GetBlob(digest)
+}
+
+// HasBlob implements Backend.
+func (s *ShardedBackend) HasBlob(digest string) bool {
+	return s.shard(digest).HasBlob(digest)
+}
+
+// DeleteBlob implements Backend.
+func (s *ShardedBackend) DeleteBlob(digest string) {
+	s.shard(digest).DeleteBlob(digest)
+}
+
+// Digests implements Backend: the union of all shards, sorted, so audit
+// reports and Persist output stay deterministic regardless of how blobs
+// landed across stripes.
+func (s *ShardedBackend) Digests() []string {
+	var (
+		mu  sync.Mutex
+		out []string
+		wg  sync.WaitGroup
+	)
+	wg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go func(sh *MemBackend) {
+			defer wg.Done()
+			ds := sh.Digests()
+			if len(ds) == 0 {
+				return
+			}
+			mu.Lock()
+			out = append(out, ds...)
+			mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	sort.Strings(out)
+	return out
+}
+
+// CorruptBlob implements Corrupter by delegating to the owning shard.
+func (s *ShardedBackend) CorruptBlob(digest string) error {
+	return s.shard(digest).CorruptBlob(digest)
+}

@@ -1,0 +1,319 @@
+package cas
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"daspos/internal/xrand"
+)
+
+// shardedPayload builds a distinct compressible payload for index i.
+func shardedPayload(i int) []byte {
+	data := bytes.Repeat([]byte(fmt.Sprintf("tier-bank-%04d ", i)), 40)
+	return data
+}
+
+func TestShardedBackendRoundTrip(t *testing.T) {
+	s := NewStoreWith(NewShardedBackend(8))
+	var digests []string
+	for i := 0; i < 64; i++ {
+		d, err := s.Put(shardedPayload(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	for i, d := range digests {
+		got, err := s.Get(d)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if !bytes.Equal(got, shardedPayload(i)) {
+			t.Fatalf("blob %d: content mismatch", i)
+		}
+	}
+	if n := len(s.Digests()); n != 64 {
+		t.Fatalf("want 64 digests, got %d", n)
+	}
+}
+
+func TestShardedDigestsSorted(t *testing.T) {
+	s := NewStoreWith(NewShardedBackend(16))
+	for i := 0; i < 200; i++ {
+		if _, err := s.Put(shardedPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := s.Digests()
+	if !sort.StringsAreSorted(ds) {
+		t.Fatal("sharded Digests() not sorted")
+	}
+	if len(ds) != 200 {
+		t.Fatalf("want 200 digests, got %d", len(ds))
+	}
+}
+
+func TestShardedRoundsUpToPowerOfTwo(t *testing.T) {
+	if got := NewShardedBackend(5).Shards(); got != 8 {
+		t.Fatalf("want 8 shards for n=5, got %d", got)
+	}
+	if got := NewShardedBackend(0).Shards(); got != DefaultShards() {
+		t.Fatalf("want DefaultShards()=%d for n=0, got %d", DefaultShards(), got)
+	}
+}
+
+func TestShardedCorruptionDetected(t *testing.T) {
+	s := NewStoreWith(NewShardedBackend(4))
+	var digests []string
+	for i := 0; i < 32; i++ {
+		d, err := s.Put(shardedPayload(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	victim := digests[7]
+	if err := s.Corrupt(victim); err != nil {
+		t.Fatal(err)
+	}
+	bad := s.VerifyAll()
+	if len(bad) != 1 || bad[0] != victim {
+		t.Fatalf("VerifyAll = %v, want [%s]", bad, victim)
+	}
+	if !sort.StringsAreSorted(bad) {
+		t.Fatal("VerifyAll output not sorted")
+	}
+}
+
+func TestVerifyAllWorkersMatchesSequential(t *testing.T) {
+	s := NewStoreWith(NewShardedBackend(8))
+	var digests []string
+	for i := 0; i < 60; i++ {
+		d, err := s.Put(shardedPayload(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	want := []string{digests[3], digests[19], digests[41]}
+	for _, d := range want {
+		if err := s.Corrupt(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+	seq := s.VerifyAllWorkers(1)
+	par := s.VerifyAllWorkers(8)
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("sequential sweep = %v, want %v", seq, want)
+	}
+	if fmt.Sprint(par) != fmt.Sprint(want) {
+		t.Fatalf("parallel sweep = %v, want %v", par, want)
+	}
+}
+
+func TestShardedConcurrentPut(t *testing.T) {
+	s := NewStoreWith(NewShardedBackend(0))
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := s.Put(shardedPayload(w*per + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := len(s.Digests()); n != workers*per {
+		t.Fatalf("want %d digests, got %d", workers*per, n)
+	}
+	if bad := s.VerifyAll(); len(bad) != 0 {
+		t.Fatalf("unexpected fixity failures: %v", bad)
+	}
+}
+
+func TestPutReaderMatchesPut(t *testing.T) {
+	s1, s2 := NewStore(), NewStore()
+	data := shardedPayload(99)
+	d1, err := s1.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, n, err := s2.PutReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("PutReader digest %s != Put digest %s", d2, d1)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("PutReader logical size %d, want %d", n, len(data))
+	}
+	got, err := s2.Get(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("PutReader content mismatch")
+	}
+	// Same stored bytes either way: the two paths must agree on framing.
+	c1, _, _ := s1.backend.GetBlob(d1)
+	c2, _, _ := s2.backend.GetBlob(d2)
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("Put and PutReader stored different bytes for the same payload")
+	}
+}
+
+func TestPutReaderDeduplicates(t *testing.T) {
+	s := NewStore()
+	data := shardedPayload(5)
+	if _, err := s.Put(data); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if _, _, err := s.PutReader(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats(); after != before {
+		t.Fatalf("duplicate PutReader changed stats: %+v -> %+v", before, after)
+	}
+}
+
+func TestIncompressibleStoredRaw(t *testing.T) {
+	rng := xrand.New(42)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	s := NewStore()
+	d, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := s.backend.GetBlob(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp[0] != blobRaw {
+		t.Fatalf("high-entropy blob stored with marker 0x%02x, want raw", comp[0])
+	}
+	if len(comp) != len(data)+1 {
+		t.Fatalf("raw blob stored as %d bytes, want %d", len(comp), len(data)+1)
+	}
+	got, err := s.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("raw round trip mismatch")
+	}
+}
+
+func TestSmallBlobSkipsCompression(t *testing.T) {
+	s := NewStore()
+	data := bytes.Repeat([]byte("a"), minCompressSize-1)
+	d, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := s.backend.GetBlob(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp[0] != blobRaw {
+		t.Fatalf("sub-threshold blob stored with marker 0x%02x, want raw", comp[0])
+	}
+}
+
+func TestRawBlobCorruptionDetected(t *testing.T) {
+	rng := xrand.New(7)
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	s := NewStore()
+	d, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Corrupt(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(d); err == nil {
+		t.Fatal("corrupt raw blob read back cleanly")
+	}
+}
+
+func TestPutReaderPropagatesReadError(t *testing.T) {
+	s := NewStore()
+	boom := fmt.Errorf("disk gone")
+	_, _, err := s.PutReader(io.MultiReader(bytes.NewReader([]byte("partial")), &failingReader{err: boom}))
+	if err == nil {
+		t.Fatal("want error from failing reader")
+	}
+	if len(s.Digests()) != 0 {
+		t.Fatal("failed PutReader left a blob behind")
+	}
+}
+
+type failingReader struct{ err error }
+
+func (f *failingReader) Read([]byte) (int, error) { return 0, f.err }
+
+// BenchmarkCASPutParallel measures ingest throughput with 1/4/8 writer
+// goroutines over the single-mutex MemBackend vs the sharded backend.
+// Each goroutine writes distinct payloads so every Put takes the full
+// digest+compress+store path.
+func BenchmarkCASPutParallel(b *testing.B) {
+	const blobSize = 16 << 10
+	backends := []struct {
+		name string
+		mk   func() Backend
+	}{
+		{"mem", func() Backend { return NewMemBackend() }},
+		{"sharded", func() Backend { return NewShardedBackend(0) }},
+	}
+	for _, be := range backends {
+		for _, g := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", be.name, g), func(b *testing.B) {
+				s := NewStoreWith(be.mk())
+				base := bytes.Repeat([]byte("daspos tier payload "), blobSize/20+1)[:blobSize]
+				b.SetBytes(blobSize)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				wg.Add(g)
+				for w := 0; w < g; w++ {
+					go func() {
+						defer wg.Done()
+						buf := append([]byte(nil), base...)
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(b.N) {
+								return
+							}
+							binary.LittleEndian.PutUint64(buf, uint64(i))
+							if _, err := s.Put(buf); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

@@ -1,29 +1,34 @@
 package datamodel
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
 )
 
-// Event files are gob streams with a small typed header. gob keeps the
-// container self-describing (field renames surface as decode errors rather
-// than silent corruption) while staying entirely inside the standard
-// library — the "no exotic dependencies" property the paper's preservation
-// discussion prizes.
+// Event files come in two generations. Version 2 is a gob stream with a
+// typed header, a record envelope per event, and an end-of-stream trailer
+// carrying the event count; it stays fully readable. Version 3 — the
+// format every writer now produces — keeps the same container semantics
+// (typed header, per-event frames, counted end trailer, truncation
+// surfaces io.ErrUnexpectedEOF) but swaps gob for the hand-rolled binary
+// codec in codec_v3.go: varint/fixed framing, pooled scratch buffers, and
+// deterministic map ordering. Both formats stay entirely inside the
+// standard library — the "no exotic dependencies" property the paper's
+// preservation discussion prizes.
 //
-// Version 2 frames every event in a record envelope and terminates the
-// stream with an explicit end-of-stream trailer carrying the event count.
-// The trailer is what makes truncation detectable: a gob stream cut at a
-// message boundary otherwise reads as a clean end-of-file, silently
+// The trailer is what makes truncation detectable: a stream cut at a
+// frame boundary otherwise reads as a clean end-of-file, silently
 // dropping the tail of an archived tier. A reader that hits end-of-input
 // before the trailer reports io.ErrUnexpectedEOF, and a trailer whose
 // count disagrees with the events actually read is corruption too.
 
-// fileHeader identifies the stream and pins the tier so a reader cannot
-// mistake a RECO file for an AOD file.
+// fileHeader identifies a version-2 stream and pins the tier so a reader
+// cannot mistake a RECO file for an AOD file.
 type fileHeader struct {
 	Magic   string
 	Version int
@@ -33,33 +38,59 @@ type fileHeader struct {
 const (
 	fileMagic   = "DASPOS-EDM"
 	fileVersion = 2
+
+	// fileMagicV3 opens a version-3 stream: eight literal bytes, chosen so
+	// no valid gob stream can begin with them (a gob stream starts with a
+	// small varint message length, never 'D').
+	fileMagicV3 = "DASEDM3\x00"
 )
+
+// Version-3 frame markers.
+const (
+	recEventV3 byte = 0x01
+	recEndV3   byte = 0x02
+)
+
+// maxFrameV3 bounds a single event frame; anything larger is corruption,
+// not physics.
+const maxFrameV3 = 1 << 30
 
 // record is the per-message envelope of a version-2 stream: either one
 // event, or the end-of-stream trailer (End=true) carrying the total count.
+// It remains for the v2 read path and for tests that author v2 streams.
 type record struct {
 	End   bool
 	Count int
 	Event *Event
 }
 
-// FileWriter writes a homogeneous stream of events of one tier. Close must
-// be called after the last event to write the end-of-stream trailer; a
-// stream without a trailer reads back as truncated.
+// FileWriter writes a homogeneous stream of events of one tier in the
+// version-3 format. Close must be called after the last event to write
+// the end-of-stream trailer; a stream without a trailer reads back as
+// truncated. The writer serializes each event into a pooled scratch
+// buffer and emits one frame per event — encode, digest (when the
+// underlying writer hashes), and buffering all happen in a single pass
+// over the bytes.
 type FileWriter struct {
-	enc    *gob.Encoder
-	tier   Tier
-	n      int
-	closed bool
+	w       io.Writer
+	tier    Tier
+	n       int
+	closed  bool
+	scratch []byte
+	head    [binary.MaxVarintLen64 + 1]byte
 }
 
 // NewFileWriter starts an event file of the given tier on w.
 func NewFileWriter(w io.Writer, tier Tier) (*FileWriter, error) {
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(fileHeader{Magic: fileMagic, Version: fileVersion, Tier: tier}); err != nil {
+	hdr := getScratch()
+	hdr = append(hdr, fileMagicV3...)
+	hdr = binary.AppendVarint(hdr, int64(tier))
+	_, err := w.Write(hdr)
+	putScratch(hdr)
+	if err != nil {
 		return nil, fmt.Errorf("datamodel: writing header: %w", err)
 	}
-	return &FileWriter{enc: enc, tier: tier}, nil
+	return &FileWriter{w: w, tier: tier, scratch: getScratch()}, nil
 }
 
 // Write appends one event. The event's tier must match the file's.
@@ -70,8 +101,14 @@ func (w *FileWriter) Write(e *Event) error {
 	if e.Tier != w.tier {
 		return fmt.Errorf("datamodel: event tier %v in %v file", e.Tier, w.tier)
 	}
-	if err := w.enc.Encode(record{Event: e}); err != nil {
-		return err
+	w.scratch = appendEventV3(w.scratch[:0], e)
+	w.head[0] = recEventV3
+	head := binary.AppendUvarint(w.head[:1], uint64(len(w.scratch)))
+	if _, err := w.w.Write(head); err != nil {
+		return fmt.Errorf("datamodel: writing frame: %w", err)
+	}
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return fmt.Errorf("datamodel: writing frame: %w", err)
 	}
 	w.n++
 	return nil
@@ -84,7 +121,13 @@ func (w *FileWriter) Close() error {
 		return nil
 	}
 	w.closed = true
-	if err := w.enc.Encode(record{End: true, Count: w.n}); err != nil {
+	if w.scratch != nil {
+		putScratch(w.scratch)
+		w.scratch = nil
+	}
+	w.head[0] = recEndV3
+	trailer := binary.AppendUvarint(w.head[:1], uint64(w.n))
+	if _, err := w.w.Write(trailer); err != nil {
 		return fmt.Errorf("datamodel: writing trailer: %w", err)
 	}
 	return nil
@@ -93,17 +136,36 @@ func (w *FileWriter) Close() error {
 // Count returns the number of events written.
 func (w *FileWriter) Count() int { return w.n }
 
-// FileReader reads an event file.
+// FileReader reads an event file of either format: the leading bytes
+// select the version-3 binary decoder or the legacy version-2 gob
+// decoder, so archived v2 tiers stay readable forever. The reader may
+// buffer ahead of the frames it has returned; give it a dedicated reader
+// over the file's bytes rather than a shared stream.
 type FileReader struct {
-	dec  *gob.Decoder
 	tier Tier
 	n    int
 	done bool
+
+	dec     *gob.Decoder  // version 2
+	br      *bufio.Reader // version 3
+	payload []byte        // pooled v3 frame scratch
 }
 
-// NewFileReader opens an event stream, validating the header.
+// NewFileReader opens an event stream, validating the header and
+// detecting the format version.
 func NewFileReader(r io.Reader) (*FileReader, error) {
-	dec := gob.NewDecoder(r)
+	peek := make([]byte, len(fileMagicV3))
+	k, err := io.ReadFull(r, peek)
+	if err == nil && bytes.Equal(peek, []byte(fileMagicV3)) {
+		br := bufio.NewReader(r)
+		tier, terr := binary.ReadVarint(br)
+		if terr != nil {
+			return nil, fmt.Errorf("datamodel: reading header: %w", io.ErrUnexpectedEOF)
+		}
+		return &FileReader{tier: Tier(tier), br: br, payload: getScratch()}, nil
+	}
+	// Not a v3 stream: hand everything read so far to the gob path.
+	dec := gob.NewDecoder(io.MultiReader(bytes.NewReader(peek[:k]), r))
 	var h fileHeader
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("datamodel: reading header: %w", err)
@@ -127,13 +189,76 @@ func (r *FileReader) Read() (*Event, error) {
 	if r.done {
 		return nil, io.EOF
 	}
+	if r.br != nil {
+		return r.readV3()
+	}
+	return r.readV2()
+}
+
+func (r *FileReader) truncated() error {
+	return fmt.Errorf("datamodel: truncated stream after %d events: %w", r.n, io.ErrUnexpectedEOF)
+}
+
+// finish marks end-of-stream and returns the v3 scratch to the pool.
+func (r *FileReader) finish() {
+	r.done = true
+	if r.payload != nil {
+		putScratch(r.payload)
+		r.payload = nil
+	}
+}
+
+func (r *FileReader) readV3() (*Event, error) {
+	marker, err := r.br.ReadByte()
+	if err != nil {
+		return nil, r.truncated()
+	}
+	switch marker {
+	case recEndV3:
+		count, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return nil, r.truncated()
+		}
+		if int(count) != r.n {
+			return nil, fmt.Errorf("datamodel: trailer count %d, read %d events", count, r.n)
+		}
+		r.finish()
+		return nil, io.EOF
+	case recEventV3:
+		ln, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return nil, r.truncated()
+		}
+		if ln > maxFrameV3 {
+			return nil, fmt.Errorf("datamodel: implausible frame size %d", ln)
+		}
+		if uint64(cap(r.payload)) < ln {
+			r.payload = make([]byte, ln)
+		}
+		buf := r.payload[:ln]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, r.truncated()
+		}
+		e, err := decodeEventV3(buf)
+		if err != nil {
+			return nil, fmt.Errorf("datamodel: decoding event: %w", err)
+		}
+		r.payload = buf[:cap(buf)]
+		r.n++
+		return e, nil
+	default:
+		return nil, fmt.Errorf("datamodel: unknown frame marker 0x%02x", marker)
+	}
+}
+
+func (r *FileReader) readV2() (*Event, error) {
 	var rec record
 	if err := r.dec.Decode(&rec); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			// The underlying input ran out before the trailer: the file
 			// is cut short, whether or not the cut fell on a gob message
 			// boundary.
-			return nil, fmt.Errorf("datamodel: truncated stream after %d events: %w", r.n, io.ErrUnexpectedEOF)
+			return nil, r.truncated()
 		}
 		return nil, fmt.Errorf("datamodel: decoding event: %w", err)
 	}

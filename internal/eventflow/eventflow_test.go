@@ -316,3 +316,52 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestSinkBatchSeesOrderedWholeBatches(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 4} {
+		p := New(context.Background(), "sinkbatch", Options{BatchSize: 9, Depth: 2})
+		s := Source(p, "ints", intSource(n))
+		m := Map(s, "double", workers, func(v int) (int, bool, error) { return 2 * v, true, nil })
+		var got []int
+		var calls int
+		SinkBatch(m, "drain", func(items []int) error {
+			calls++
+			if len(items) == 0 {
+				return errors.New("empty batch delivered")
+			}
+			got = append(got, items...)
+			return nil
+		})
+		if err := p.Wait(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d items", workers, len(got))
+		}
+		for i, v := range got {
+			if v != 2*i {
+				t.Fatalf("workers=%d: item %d = %d, want %d", workers, i, v, 2*i)
+			}
+		}
+		if want := (n + 8) / 9; calls != want {
+			t.Fatalf("workers=%d: %d sink calls, want %d", workers, calls, want)
+		}
+	}
+}
+
+func TestSinkBatchErrorPropagates(t *testing.T) {
+	p := New(context.Background(), "sinkbatch-err", Options{BatchSize: 4, Depth: 2})
+	s := Source(p, "ints", intSource(50))
+	boom := errors.New("bank full")
+	SinkBatch(s, "drain", func(items []int) error {
+		if items[0] >= 20 {
+			return boom
+		}
+		return nil
+	})
+	err := p.Wait()
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped sink error, got %v", err)
+	}
+}

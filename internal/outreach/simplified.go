@@ -2,6 +2,7 @@ package outreach
 
 import (
 	"archive/zip"
+	"compress/flate"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -115,8 +116,10 @@ func (c *Converter) Convert(e *datamodel.Event) *SimplifiedEvent {
 // precision would triple the exhibit size for nothing.
 func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
 
-// round1 trims positions to 0.1 mm.
-func round1(x float64) float64 { return math.Round(x*10) / 10 }
+// round0 trims polyline positions to whole millimeters: the detector is
+// meters across and the polyline is display geometry, so sub-mm digits
+// only inflate the JSON.
+func round0(x float64) float64 { return math.Round(x) }
 
 // polyline samples the track helix from the beamline to the outermost
 // tracker radius.
@@ -144,7 +147,7 @@ func (c *Converter) polyline(t datamodel.Track) [][3]float64 {
 		phi := t.P.Phi() - t.Charge*bend
 		z := t.Z0 + r*math.Sinh(t.P.Eta())
 		pts = append(pts, [3]float64{
-			round1(r * math.Cos(phi)), round1(r * math.Sin(phi)), round1(z),
+			round0(r * math.Cos(phi)), round0(r * math.Sin(phi)), round0(z),
 		})
 	}
 	return pts
@@ -153,9 +156,14 @@ func (c *Converter) polyline(t datamodel.Track) [][3]float64 {
 // Exhibit I/O: a zip container with geometry.json plus events/NNNNN.json —
 // the self-documenting ig-like bundle of Table 1's CMS row.
 
-// WriteExhibit bundles a geometry and events into an exhibit.
+// WriteExhibit bundles a geometry and events into an exhibit. Exhibits
+// are write-once, read-many artifacts, so the container trades encode CPU
+// for size with maximum-effort deflate.
 func WriteExhibit(w io.Writer, det *detector.Detector, events []*SimplifiedEvent) error {
 	zw := zip.NewWriter(w)
+	zw.RegisterCompressor(zip.Deflate, func(w io.Writer) (io.WriteCloser, error) {
+		return flate.NewWriter(w, flate.BestCompression)
+	})
 	gf, err := zw.Create("geometry.json")
 	if err != nil {
 		return err

@@ -118,16 +118,18 @@ type ArtifactWriter struct {
 	tier   string
 	buf    bytes.Buffer
 	hash   hash.Hash
+	tee    io.Writer // MultiWriter(hash, buf): one pass feeds both
 	sealed bool
 }
 
-// Write appends to the artifact, feeding the running digest.
+// Write appends to the artifact in a single pass: the fan-out writer
+// feeds the running sha256 and the buffered payload from one traversal
+// of p, so publishing never re-reads the artifact to digest it.
 func (w *ArtifactWriter) Write(p []byte) (int, error) {
 	if w.sealed {
 		return 0, fmt.Errorf("workflow: write to committed output %q", w.name)
 	}
-	w.hash.Write(p)
-	return w.buf.Write(p)
+	return w.tee.Write(p)
 }
 
 // Commit publishes the artifact with the given event count. The digest is
@@ -157,7 +159,9 @@ func (c *Context) StreamOutput(name, tier string) (*ArtifactWriter, error) {
 	if _, dup := c.outputs[name]; dup {
 		return nil, fmt.Errorf("workflow: step %q produced output %q twice", c.step.Name, name)
 	}
-	return &ArtifactWriter{ctx: c, name: name, tier: tier, hash: sha256.New()}, nil
+	w := &ArtifactWriter{ctx: c, name: name, tier: tier, hash: sha256.New()}
+	w.tee = io.MultiWriter(w.hash, &w.buf)
+	return w, nil
 }
 
 // External records that the step resolved an external resource (a

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# bench.sh — run the performance harness and write BENCH_pipeline.json at
+# the repo root. Pass -short for the CI smoke variant (small sample, fewer
+# worker counts); any other arguments are forwarded to daspos-bench.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go run ./cmd/daspos-bench $*"
+go run ./cmd/daspos-bench -out BENCH_pipeline.json "$@"
+
+echo "bench: wrote BENCH_pipeline.json"
