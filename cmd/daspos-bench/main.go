@@ -29,7 +29,6 @@ import (
 	"strconv"
 	"strings"
 	"testing"
-	"time"
 
 	"daspos/internal/cas"
 	"daspos/internal/conditions"
@@ -72,6 +71,7 @@ func main() {
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the pipeline benchmark")
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
 	short := flag.Bool("short", false, "smoke mode: small sample, fewer worker counts")
+	stamp := flag.Int64("stamp", 0, "generated_unix stamp recorded in the report; 0 keeps the report byte-stable across identical runs (pass $(date +%s) to record the real time)")
 	flag.Parse()
 
 	workers, err := parseWorkers(*workersList)
@@ -95,7 +95,7 @@ func main() {
 		Events:     len(sample),
 		Seed:       *seed,
 		Short:      *short,
-		Unix:       time.Now().Unix(),
+		Unix:       *stamp,
 	}
 
 	for _, w := range workers {
@@ -230,7 +230,9 @@ func benchPipeline(sample []*datamodel.Event, workers int) result {
 			if err := fw.Close(); err != nil {
 				b.Fatal(err)
 			}
-			pw.Close()
+			if err := pw.Close(); err != nil {
+				b.Fatal(err)
+			}
 			if err := <-done; err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,277 @@
+// Package analysis is the stdlib-only static-analysis framework behind
+// cmd/daspos-vet: it loads the module's packages (go list + go/parser +
+// go/types, no external dependencies), runs a set of project-specific
+// analyzers over the typed syntax trees, and reports findings that each
+// name the preservation invariant they guard.
+//
+// PRs 1–4 established the invariants by convention: seeded xrand streams
+// instead of wall clocks and global RNGs, fsync-before-rename commit
+// ordering in the durable stores, the transient/permanent error taxonomy
+// at every retry boundary, context propagation through long-running
+// services, and checked Close on write paths. Nothing but review kept the
+// next change from silently violating them. The analyzers here turn those
+// prose rules into machine-checked ones, per the DPHEP/HSF observation
+// that reproducibility guarantees rot unless continuously validated.
+//
+// A finding can be suppressed at a call site that is deliberately exempt
+// (a metrics-only timer, a best-effort cleanup) with a line comment of the
+// form //daspos:<token>, where <token> is the suppression token the
+// analyzer names in its finding (for example //daspos:wallclock-ok). The
+// directive applies to findings on its own line or on the line directly
+// below, so it can sit on its own line above a long statement.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report: a position, the specific defect, and the
+// one-line rationale for why the invariant exists at all.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	Why      string         `json:"why"`
+}
+
+// String renders the finding in the file:line:col style editors understand.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer (the -only flag selects by it).
+	Name string
+	// Doc is a short description of what the analyzer enforces.
+	Doc string
+	// Why is the one-line rationale attached to every finding: the reason
+	// the invariant exists, not just the rule that was broken.
+	Why string
+	// Suppress is the //daspos:<token> comment that exempts a call site.
+	Suppress string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil means every package.
+	Match func(path string) bool
+	// Run inspects one package and reports through the pass.
+	Run func(p *Pass)
+}
+
+// Pass is one (analyzer, package) execution: the typed syntax plus the
+// reporting and suppression machinery.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings   *[]Finding
+	suppressed map[string]map[int]bool // file -> line -> directive present
+}
+
+// Reportf records a finding at pos unless a //daspos:<token> suppression
+// comment covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.lineSuppressed(position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		Why:      p.Analyzer.Why,
+	})
+}
+
+// lineSuppressed reports whether the analyzer's suppression token appears
+// on the finding's line or the line directly above it.
+func (p *Pass) lineSuppressed(pos token.Position) bool {
+	if p.suppressed == nil {
+		p.suppressed = make(map[string]map[int]bool)
+		directive := "//daspos:" + p.Analyzer.Suppress
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directive) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, directive)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // a longer, different token
+					}
+					cp := p.Fset.Position(c.Pos())
+					lines := p.suppressed[cp.Filename]
+					if lines == nil {
+						lines = make(map[int]bool)
+						p.suppressed[cp.Filename] = lines
+					}
+					lines[cp.Line] = true
+				}
+			}
+		}
+	}
+	lines := p.suppressed[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// typeOf resolves an expression's static type, nil when unknown.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), nil for builtins, conversions, and
+// function-typed variables.
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		Durability,
+		ErrClass,
+		CtxProp,
+		CloseCheck,
+	}
+}
+
+// Run executes the analyzers over the loaded packages and returns every
+// finding, sorted by position. Analyzers whose Match rejects a package's
+// import path skip it.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// matchPath builds a Match function accepting packages whose import path
+// ends in one of the given path suffixes (or lives below one of them).
+func matchPath(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if strings.HasSuffix(path, s) || strings.Contains(path, s+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errType != nil && types.Implements(t, errType)
+}
+
+// hasMethod reports whether t (or *t) has a method with the given name
+// whose parameter and result types render to the given strings (parameter
+// names are irrelevant). Type strings qualify package names by name, e.g.
+// "context.Context".
+func hasMethod(t types.Type, name string, params, results []string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return tupleMatches(sig.Params(), params) && tupleMatches(sig.Results(), results)
+}
+
+func tupleMatches(tup *types.Tuple, want []string) bool {
+	if tup.Len() != len(want) {
+		return false
+	}
+	qual := func(p *types.Package) string { return p.Name() }
+	for i := 0; i < tup.Len(); i++ {
+		if types.TypeString(tup.At(i).Type(), qual) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isHashHash reports whether t looks like a hash.Hash implementation: the
+// structural check keeps analyzers independent of whether the analyzed
+// package imports the hash package directly.
+func isHashHash(t types.Type) bool {
+	return hasMethod(t, "Sum", []string{"[]byte"}, []string{"[]byte"}) &&
+		hasMethod(t, "BlockSize", nil, []string{"int"}) &&
+		hasMethod(t, "Write", []string{"[]byte"}, []string{"int", "error"})
+}
+
+// isWriter reports whether t has a Write([]byte) (int, error) method —
+// the marker of a write path whose Close/Flush error carries data loss.
+func isWriter(t types.Type) bool {
+	return hasMethod(t, "Write", []string{"[]byte"}, []string{"int", "error"})
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxProp enforces context propagation through the long-running service
+// packages: an exported function that performs I/O or spawns workers must
+// be cancellable, either by accepting a context.Context directly or by
+// receiving a value that carries one (a struct with a context field, or a
+// type with a Context()/Ctx() accessor — the eventflow Pipeline and the
+// workflow step Context both qualify).
+var CtxProp = &Analyzer{
+	Name:     "ctxprop",
+	Doc:      "exported functions that do I/O or spawn workers must accept and thread a context.Context",
+	Why:      "preservation services run for hours against stores and replicas that can hang; an uncancellable exported entry point leaks goroutines and wedges shutdown",
+	Suppress: "ctx-ok",
+	Match: matchPath(
+		"internal/workflow",
+		"internal/eventflow",
+		"internal/recast",
+		"internal/archive",
+	),
+	Run: runCtxProp,
+}
+
+func runCtxProp(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil && !exportedRecv(fd.Recv) {
+				continue // method on an unexported type is not API surface
+			}
+			work := p.doesWork(fd)
+			if work == "" {
+				continue
+			}
+			if p.signatureCarriesContext(fd) {
+				continue
+			}
+			p.Reportf(fd.Name.Pos(), "exported %s %s but accepts no context.Context (directly or via a parameter that carries one); it cannot be cancelled", fd.Name.Name, work)
+		}
+	}
+}
+
+// exportedRecv reports whether the receiver's base type name is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if idx, ok := t.(*ast.IndexListExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// doesWork classifies the function body: "" when it neither spawns
+// goroutines nor performs I/O; otherwise a short description for the
+// finding message.
+func (p *Pass) doesWork(fd *ast.FuncDecl) string {
+	work := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if work != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			work = "spawns worker goroutines"
+		case *ast.CallExpr:
+			fn := p.calleeFunc(n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "os", "net":
+				work = "performs I/O (" + fn.Pkg().Path() + "." + fn.Name() + ")"
+			case "net/http":
+				if httpIOFunc(fn) {
+					work = "performs I/O (net/http." + fn.Name() + ")"
+				}
+			}
+		}
+		return true
+	})
+	return work
+}
+
+// httpIOFunc reports whether fn is a net/http call that actually moves
+// bytes over the network (client requests, server loops) — constructing a
+// mux or a request is not I/O.
+func httpIOFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		switch namedPkgPathName(sig.Recv().Type()) {
+		case "net/http.Client", "net/http.Transport", "net/http.Server":
+			return true
+		}
+		return false
+	}
+	switch fn.Name() {
+	case "Get", "Post", "PostForm", "Head", "ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS":
+		return true
+	}
+	return false
+}
+
+// namedPkgPathName renders a (possibly pointer) named type as
+// "pkgpath.Name"; "" for unnamed types.
+func namedPkgPathName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// signatureCarriesContext reports whether any parameter or the receiver
+// provides access to a context.
+func (p *Pass) signatureCarriesContext(fd *ast.FuncDecl) bool {
+	check := func(fields *ast.FieldList) bool {
+		if fields == nil {
+			return false
+		}
+		for _, field := range fields.List {
+			if carriesContext(p.typeOf(field.Type), 3, map[types.Type]bool{}) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}
+
+// carriesContext reports whether t is a context.Context, exposes one via a
+// niladic accessor method, or (recursively, to bounded depth) holds one in
+// a struct field.
+func carriesContext(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if t == nil || depth == 0 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if namedPkgPathName(t) == "context.Context" {
+		return true
+	}
+	if hasContextAccessor(t) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if carriesContext(st.Field(i).Type(), depth-1, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasContextAccessor reports whether t's method set includes a niladic
+// method returning exactly a context.Context (http.Request.Context,
+// workflow.Context.Ctx, ...).
+func hasContextAccessor(t types.Type) bool {
+	for _, name := range []string{"Context", "Ctx"} {
+		if hasMethod(t, name, nil, []string{"context.Context"}) {
+			return true
+		}
+	}
+	return false
+}

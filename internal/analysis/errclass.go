@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ErrClass enforces the error taxonomy at and below the resilience retry
+// boundary. Two rules:
+//
+//  1. fmt.Errorf must never flatten an error with %v or %s — that breaks
+//     errors.Is/As and strips the transient/permanent classification the
+//     retry policies branch on. Wrapping with %w preserves both.
+//  2. An error constructed directly inside a resilience.Retry operation
+//     must be classified (MarkTransient/MarkPermanent) or wrap its cause
+//     with %w — otherwise the retry loop sees an unclassified error and
+//     gives up after one attempt, silently disabling the policy.
+var ErrClass = &Analyzer{
+	Name:     "errclass",
+	Doc:      "errors must be wrapped with %w and classified transient/permanent at the retry boundary",
+	Why:      "retry policies branch on the transient/permanent taxonomy via errors.As; an error flattened with %v or left unclassified silently disables resilience",
+	Suppress: "errclass-ok",
+	Run:      runErrClass,
+}
+
+func runErrClass(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil {
+				return true
+			}
+			switch fn.FullName() {
+			case "fmt.Errorf":
+				p.checkErrorfFlattening(call)
+			case "daspos/internal/resilience.Retry":
+				p.checkRetryOp(call)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfFlattening flags %v / %s verbs whose argument is an error:
+// the wrap drops the chain. (%w, possibly more than one since Go 1.20, is
+// the correct verb.)
+func (p *Pass) checkErrorfFlattening(call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	for _, v := range formatVerbs(format) {
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		argIdx := 1 + v.arg
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if implementsError(p.typeOf(arg)) {
+			p.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c, severing the chain; wrap it with %%w so errors.Is/As and the resilience classification survive", v.verb)
+		}
+	}
+}
+
+// verbUse is one format verb and the 0-based operand index it consumes.
+type verbUse struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs parses a Printf-style format string into its verbs. Formats
+// using explicit argument indexes ("%[2]v") are skipped entirely — rare,
+// and not worth mis-attributing operands over.
+func formatVerbs(format string) []verbUse {
+	if strings.Contains(format, "%[") {
+		return nil
+	}
+	var out []verbUse
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision; '*' consumes an operand.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		out = append(out, verbUse{verb: rune(format[i]), arg: arg})
+		arg++
+	}
+	return out
+}
+
+// checkRetryOp inspects the operation literal passed to resilience.Retry:
+// errors constructed right at the boundary must carry a classification or
+// wrap a classified cause with %w.
+func (p *Pass) checkRetryOp(call *ast.CallExpr) {
+	if len(call.Args) < 3 {
+		return
+	}
+	op, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested {
+			return false // returns inside belong to the nested function
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		p.checkBoundaryError(ret.Results[0])
+		return true
+	}
+	ast.Inspect(op.Body, walk)
+}
+
+// checkBoundaryError flags a fresh, unclassified error value returned at
+// the retry boundary. Identifiers and calls into other functions pass:
+// their classification happens (and is checked) where they are built.
+func (p *Pass) checkBoundaryError(res ast.Expr) {
+	call, ok := ast.Unparen(res).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := p.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	switch fn.FullName() {
+	case "errors.New":
+		p.Reportf(res.Pos(), "errors.New at the resilience.Retry boundary carries no classification; wrap it with resilience.MarkTransient or MarkPermanent")
+	case "fmt.Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil || strings.Contains(format, "%w") {
+			return
+		}
+		p.Reportf(res.Pos(), "fmt.Errorf at the resilience.Retry boundary neither wraps a cause with %%w nor carries a Mark* classification; the retry policy cannot tell transient from permanent")
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+// The golden-file harness: each analyzer runs over a testdata package and
+// its findings are matched against // want "regexp" comments on the
+// offending lines — the analysistest idiom, rebuilt on the stdlib-only
+// loader. Every seeded violation must be reported, every reported finding
+// must be expected, and suppressed or clean sites must stay silent.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"go/ast"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one // want comment: a line that must produce a finding
+// whose message matches the regexp.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runAnalyzerTest loads testdata/<dir> as a package with the given
+// virtual import path (so path-scoped analyzers see the package they
+// would in the real tree) and diffs the analyzer's findings against the
+// want expectations.
+func runAnalyzerTest(t *testing.T, a *Analyzer, dir, virtualPath string) {
+	t.Helper()
+	if a.Match != nil && !a.Match(virtualPath) {
+		t.Fatalf("virtual path %q is outside analyzer %s's scope", virtualPath, a.Name)
+	}
+	names, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no testdata files under testdata/%s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				pat := m[1]
+				if m[2] != "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				expects = append(expects, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		imports := make([]string, 0, len(importSet))
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		if _, exports, err = goList(".", imports); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, info, err := typecheck(fset, exportImporter(fset, exports), virtualPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	findings := Run(fset, []*Package{{Path: virtualPath, Files: files, Types: pkg, Info: info}}, []*Analyzer{a})
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if !e.matched && e.file == f.File && e.line == f.Line && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no finding matching %q", e.file, e.line, e.re)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Seeded violations for the closecheck analyzer: discarded Close/Flush
+// errors on writers, next to checked, deferred, and reader cases that
+// must stay silent.
+package datamodel
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func writeBad(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	f.Close() // want `Close\(\) on a writer discarded`
+	return nil
+}
+
+func flushBad(w io.Writer, b []byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(b); err != nil {
+		return err
+	}
+	bw.Flush() // want `Flush\(\) on a writer discarded`
+	return nil
+}
+
+func writeGood(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close() //daspos:close-ok — error path, the write error wins
+		return err
+	}
+	return f.Close()
+}
+
+func deferredOK(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.ReadAll(f)
+	return err
+}
+
+func deferredLitOK(path string, b []byte) (err error) {
+	f, cerr := os.Create(path)
+	if cerr != nil {
+		return cerr
+	}
+	defer func() {
+		f.Close()
+	}()
+	_, err = f.Write(b)
+	return err
+}
+
+func readerOK(rc io.ReadCloser) ([]byte, error) {
+	b, err := io.ReadAll(rc)
+	rc.Close() // a reader's Close loses nothing buffered
+	return b, err
+}

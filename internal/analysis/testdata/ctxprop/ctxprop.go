@@ -1,0 +1,79 @@
+// Seeded violations for the ctxprop analyzer: exported entry points that
+// do I/O or spawn workers without any route to a context.
+package recast
+
+import (
+	"context"
+	"net/http"
+	"os"
+)
+
+func SpawnBad(n int) { // want `exported SpawnBad spawns worker goroutines`
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func SpawnGood(ctx context.Context, n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func ReadBad(path string) ([]byte, error) { // want `exported ReadBad performs I/O \(os.ReadFile\)`
+	return os.ReadFile(path)
+}
+
+func FetchBad(url string) (*http.Response, error) { // want `exported FetchBad performs I/O \(net/http.Get\)`
+	return http.Get(url)
+}
+
+// Runner carries its context as a field, so its methods are cancellable
+// through the receiver.
+type Runner struct {
+	ctx context.Context
+}
+
+func (r *Runner) Run(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Handle receives the context through *http.Request's Context() accessor.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	b, err := os.ReadFile("image.json")
+	if err != nil {
+		http.Error(w, err.Error(), 500)
+		return
+	}
+	w.Write(b)
+}
+
+// readManifest is unexported: not API surface, callers thread their own
+// context above it.
+func readManifest(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// NewMux only constructs routing tables; registering handlers is not I/O.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {})
+	return mux
+}
+
+//daspos:ctx-ok — one-shot CLI helper, process lifetime is the cancellation
+func SlurpAnnotated(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,80 @@
+// Seeded violations for the determinism analyzer: wall-clock reads,
+// global math/rand, and map iteration feeding digests, next to clean and
+// suppressed counterparts that must stay silent.
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"math/rand" // want "import of math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want `call to time.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time.Since reads the wall clock`
+}
+
+func metricOnly() time.Time {
+	return time.Now() //daspos:wallclock-ok — metrics-only, never serialized
+}
+
+func metricOnlyAbove() time.Time {
+	//daspos:wallclock-ok — directive on the line above also applies
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Int()
+}
+
+func digestUnsorted(aux map[string]float64) []byte {
+	h := sha256.New()
+	for k, v := range aux { // want `map iteration feeds a hash.Hash`
+		fmt.Fprintf(h, "%s=%v\n", k, v)
+	}
+	return h.Sum(nil)
+}
+
+func digestDirectWrite(aux map[string][]byte) []byte {
+	h := sha256.New()
+	for _, v := range aux { // want `map iteration feeds a hash.Hash`
+		h.Write(v)
+	}
+	return h.Sum(nil)
+}
+
+func encodeUnsorted(m map[int]string, enc *gob.Encoder) error {
+	for k := range m { // want `map iteration feeds a encoding/gob encoder`
+		if err := enc.Encode(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func digestSorted(aux map[string]float64) []byte {
+	keys := make([]string, 0, len(aux))
+	for k := range aux { // clean: collects keys without digesting
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%v\n", k, aux[k])
+	}
+	return h.Sum(nil)
+}
+
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m { // clean: order-independent accumulation
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+// Seeded violations for the errclass analyzer: error chains flattened
+// with %v/%s, and unclassified errors minted at the retry boundary.
+package archive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"daspos/internal/resilience"
+)
+
+func flattenV(err error) error {
+	return fmt.Errorf("replication failed: %v", err) // want `formats an error with %v`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("replication failed: %s", err) // want `formats an error with %s`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("replication failed: %w", err)
+}
+
+func doubleWrapOK(sentinel, cause error) error {
+	return fmt.Errorf("%w: fetching replica: %w", sentinel, cause)
+}
+
+func notAnError(n int) error {
+	return fmt.Errorf("bad replica count: %v", n)
+}
+
+func deliberateFlatten(err error) string {
+	// A string rendering, not a wrap — but via Errorf it still loses the
+	// chain; the suppression records that this one is display-only.
+	return fmt.Errorf("display: %v", err).Error() //daspos:errclass-ok
+}
+
+func retryFreshErrorsNew(ctx context.Context) error {
+	return resilience.Retry(ctx, resilience.Policy{}, func(context.Context) error {
+		return errors.New("replica unreachable") // want `errors.New at the resilience.Retry boundary`
+	})
+}
+
+func retryFreshErrorf(ctx context.Context, id int) error {
+	return resilience.Retry(ctx, resilience.Policy{}, func(context.Context) error {
+		return fmt.Errorf("replica %d unreachable", id) // want `neither wraps a cause with %w nor carries a Mark`
+	})
+}
+
+func retryClassified(ctx context.Context, op func() error) error {
+	return resilience.Retry(ctx, resilience.Policy{}, func(context.Context) error {
+		if err := op(); err != nil {
+			return resilience.MarkTransient(err)
+		}
+		return nil
+	})
+}
+
+func retryWrapped(ctx context.Context, op func() error) error {
+	return resilience.Retry(ctx, resilience.Policy{}, func(context.Context) error {
+		if err := op(); err != nil {
+			return fmt.Errorf("attempt: %w", err)
+		}
+		return nil
+	})
+}
+
+func retryPassthrough(ctx context.Context, op func() error) error {
+	return resilience.Retry(ctx, resilience.Policy{}, func(context.Context) error {
+		return op() // classification is op's responsibility, checked there
+	})
+}

@@ -13,6 +13,7 @@
 package archive
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -227,11 +228,13 @@ type VerifyReport struct {
 // tested and shown to be effective"). The audit decompresses and rehashes
 // every blob, so it fans out across GOMAXPROCS workers.
 func (a *Archive) VerifyAll() VerifyReport {
-	return a.VerifyAllWorkers(runtime.GOMAXPROCS(0))
+	return a.VerifyAllWorkers(context.Background(), runtime.GOMAXPROCS(0))
 }
 
 // VerifyAllWorkers is VerifyAll with an explicit worker count (minimum 1).
-func (a *Archive) VerifyAllWorkers(workers int) VerifyReport {
+// Cancelling the context stops the sweep early; the returned report then
+// covers only the packages already audited.
+func (a *Archive) VerifyAllWorkers(ctx context.Context, workers int) VerifyReport {
 	ids := a.IDs()
 	rep := VerifyReport{Packages: len(ids), Damaged: make(map[string]string)}
 	if workers < 1 {
@@ -242,6 +245,9 @@ func (a *Archive) VerifyAllWorkers(workers int) VerifyReport {
 	}
 	if workers <= 1 {
 		for _, id := range ids {
+			if ctx.Err() != nil {
+				return rep
+			}
 			if err := a.VerifyPackage(id); err != nil {
 				rep.Damaged[id] = err.Error()
 			} else {
@@ -271,8 +277,13 @@ func (a *Archive) VerifyAllWorkers(workers int) VerifyReport {
 			}
 		}()
 	}
+feed:
 	for _, id := range ids {
-		next <- id
+		select {
+		case next <- id:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -171,7 +171,7 @@ func TestParallelVerifyAllFindsDamage(t *testing.T) {
 	if err := a.CorruptBlob(pkg.Files[0].Digest); err != nil {
 		t.Fatal(err)
 	}
-	rep := a.VerifyAllWorkers(8)
+	rep := a.VerifyAllWorkers(context.Background(), 8)
 	if rep.Packages != 10 || rep.Healthy != 9 {
 		t.Fatalf("report: %+v", rep)
 	}

@@ -104,7 +104,7 @@ func New(ctx context.Context, name string, opts Options) *Pipeline {
 		stageRetries: opts.StageRetries,
 		ctx:          pctx,
 		cancel:       cancel,
-		started:      time.Now(),
+		started:      time.Now(), //daspos:wallclock-ok — pipeline wall-time metric only
 	}
 }
 
@@ -117,7 +117,7 @@ func (p *Pipeline) Wait() error {
 	err := p.failErr
 	if !p.waited {
 		p.waited = true
-		p.wall = time.Since(p.started)
+		p.wall = time.Since(p.started) //daspos:wallclock-ok — stage-report metric only
 	}
 	p.mu.Unlock()
 	ctxErr := p.ctx.Err()
@@ -197,9 +197,9 @@ func Source[T any](p *Pipeline, name string, next func() (T, error)) *Stream[T] 
 			if p.ctx.Err() != nil {
 				return nil
 			}
-			start := time.Now()
+			start := time.Now() //daspos:wallclock-ok — per-stage busy metric only
 			v, err := next()
-			st.busy.Add(int64(time.Since(start)))
+			st.busy.Add(int64(time.Since(start))) //daspos:wallclock-ok
 			if err == io.EOF {
 				flush()
 				return nil
@@ -240,19 +240,19 @@ func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func
 	st := p.addStage(name, workers)
 
 	apply := func(fn func(In) (Out, bool, error), b batch[In]) (batch[Out], error) {
-		start := time.Now()
+		start := time.Now() //daspos:wallclock-ok — per-stage busy metric only
 		ob := batch[Out]{seq: b.seq, items: make([]Out, 0, len(b.items))}
 		for _, v := range b.items {
 			o, keep, err := fn(v)
 			if err != nil {
-				st.busy.Add(int64(time.Since(start)))
+				st.busy.Add(int64(time.Since(start))) //daspos:wallclock-ok
 				return batch[Out]{}, fmt.Errorf("eventflow: stage %s: %w", name, err)
 			}
 			if keep {
 				ob.items = append(ob.items, o)
 			}
 		}
-		st.busy.Add(int64(time.Since(start)))
+		st.busy.Add(int64(time.Since(start))) //daspos:wallclock-ok
 		st.batches.Add(1)
 		st.eventsIn.Add(int64(len(b.items)))
 		st.eventsOut.Add(int64(len(ob.items)))
@@ -404,9 +404,9 @@ func SinkBatch[T any](s *Stream[T], name string, fn func([]T) error) {
 	st := p.addStage(name, 1)
 	p.spawn(func() error {
 		for b := range s.ch {
-			start := time.Now()
+			start := time.Now() //daspos:wallclock-ok — per-stage busy metric only
 			err := fn(b.items)
-			st.busy.Add(int64(time.Since(start)))
+			st.busy.Add(int64(time.Since(start))) //daspos:wallclock-ok
 			if err != nil {
 				return fmt.Errorf("eventflow: sink %s: %w", name, err)
 			}

@@ -100,7 +100,7 @@ func (p *Pipeline) Report() Report {
 	defer p.mu.Unlock()
 	wall := p.wall
 	if !p.waited {
-		wall = time.Since(p.started)
+		wall = time.Since(p.started) //daspos:wallclock-ok — live-report metric only
 	}
 	r := Report{Pipeline: p.name, Wall: wall}
 	for _, st := range p.stages {

@@ -111,7 +111,7 @@ func (r *Reader) Read() (*Event, error) {
 	nv, err4 := strconv.Atoi(f[4])
 	np, err5 := strconv.Atoi(f[5])
 	if err := firstErr(err1, err2, err3, err4, err5); err != nil {
-		return nil, fmt.Errorf("%w: bad E record %q: %v", ErrBadFormat, line, err)
+		return nil, fmt.Errorf("%w: bad E record %q: %w", ErrBadFormat, line, err)
 	}
 	if nv < 0 || np < 0 || nv > 1<<20 || np > 1<<20 {
 		return nil, fmt.Errorf("%w: unreasonable counts in %q", ErrBadFormat, line)
@@ -155,7 +155,7 @@ func (r *Reader) readVertex() (Vertex, error) {
 	z, err3 := strconv.ParseFloat(f[4], 64)
 	t, err4 := strconv.ParseFloat(f[5], 64)
 	if err := firstErr(err0, err1, err2, err3, err4); err != nil {
-		return Vertex{}, fmt.Errorf("%w: bad V record: %v", ErrBadFormat, err)
+		return Vertex{}, fmt.Errorf("%w: bad V record: %w", ErrBadFormat, err)
 	}
 	return Vertex{Barcode: bc, X: x, Y: y, Z: z, T: t}, nil
 }
@@ -178,7 +178,7 @@ func (r *Reader) readParticle() (Particle, error) {
 	pv, err7 := strconv.Atoi(f[8])
 	ev, err8 := strconv.Atoi(f[9])
 	if err := firstErr(err0, err1, err2, err3, err4, err5, err6, err7, err8); err != nil {
-		return Particle{}, fmt.Errorf("%w: bad P record: %v", ErrBadFormat, err)
+		return Particle{}, fmt.Errorf("%w: bad P record: %w", ErrBadFormat, err)
 	}
 	return Particle{
 		Barcode: bc, PDG: pdg, Status: status,

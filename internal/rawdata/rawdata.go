@@ -209,7 +209,7 @@ func ReadEvent(r io.Reader) (*Event, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: truncated header: %w", ErrCorrupt, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != eventMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
@@ -222,7 +222,7 @@ func ReadEvent(r io.Reader) (*Event, error) {
 	for i := 0; i < nbanks; i++ {
 		bh := make([]byte, 6)
 		if _, err := io.ReadFull(r, bh); err != nil {
-			return nil, fmt.Errorf("%w: truncated bank header: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: truncated bank header: %w", ErrCorrupt, err)
 		}
 		nwords := int(binary.LittleEndian.Uint32(bh[2:]))
 		if nwords > 1<<24 {
@@ -231,11 +231,11 @@ func ReadEvent(r io.Reader) (*Event, error) {
 		body := make([]byte, 6+nwords*6)
 		copy(body, bh)
 		if _, err := io.ReadFull(r, body[6:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated bank body: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: truncated bank body: %w", ErrCorrupt, err)
 		}
 		var crc [4]byte
 		if _, err := io.ReadFull(r, crc[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated bank crc: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: truncated bank crc: %w", ErrCorrupt, err)
 		}
 		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(body) {
 			return nil, fmt.Errorf("%w: bank %d crc mismatch", ErrCorrupt, i)

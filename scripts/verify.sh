@@ -15,6 +15,9 @@ go build -o /dev/null ./cmd/daspos-bench
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> daspos-vet ./... (preservation invariants)"
+go run ./cmd/daspos-vet ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
