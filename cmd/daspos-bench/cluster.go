@@ -1,0 +1,230 @@
+package main
+
+// The multi-node section: an in-process five-node preservation network
+// (real HTTP servers on loopback, replication factor 3) measured on the
+// two paths a multi-site deployment lives or dies by — quorum ingest and
+// replica-fallback restore — at increasing client concurrency. Results go
+// to BENCH_cluster.json, separate from the single-process pipeline
+// report, because wire numbers and in-memory numbers must never be
+// compared on one axis.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+
+	"daspos/internal/cas"
+	"daspos/internal/cluster"
+	"daspos/internal/node"
+)
+
+// clusterReport is the BENCH_cluster.json document.
+type clusterReport struct {
+	GoVersion         string   `json:"go_version"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	Nodes             int      `json:"nodes"`
+	ReplicationFactor int      `json:"replication_factor"`
+	BlobBytes         int      `json:"blob_bytes"`
+	Short             bool     `json:"short"`
+	Unix              int64    `json:"generated_unix"`
+	Results           []result `json:"results"`
+}
+
+const (
+	clusterNodes    = 5
+	clusterRF       = 3
+	clusterBlobSize = 16 << 10
+)
+
+// startBenchCluster spins the node fleet and a client over it; the caller
+// must invoke the returned shutdown func.
+func startBenchCluster() (*cluster.Client, func(), error) {
+	var (
+		servers []*httptest.Server
+		infos   []cluster.NodeInfo
+	)
+	shutdown := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < clusterNodes; i++ {
+		nd := node.New(fmt.Sprintf("bench-%d", i), cas.NewShardedBackend(0))
+		srv := httptest.NewServer(nd.Handler())
+		servers = append(servers, srv)
+		infos = append(infos, cluster.NodeInfo{ID: nd.ID(), URL: srv.URL})
+	}
+	cl, err := cluster.New(context.Background(), cluster.Config{
+		Nodes:             infos,
+		ReplicationFactor: clusterRF,
+	})
+	if err != nil {
+		shutdown()
+		return nil, nil, err
+	}
+	return cl, shutdown, nil
+}
+
+// benchBlob returns the i-th distinct payload.
+func benchBlob(base []byte, i int) []byte {
+	buf := append([]byte(nil), base...)
+	copy(buf, fmt.Sprintf("%020d", i))
+	return buf
+}
+
+// benchClusterIngest measures quorum writes (each Put fans to RF nodes,
+// acks at majority) with g client goroutines.
+func benchClusterIngest(g int) (result, error) {
+	base := bytes.Repeat([]byte("daspos cluster payload "), clusterBlobSize/23+1)[:clusterBlobSize]
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		cl, shutdown, err := startBenchCluster()
+		if err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		defer shutdown()
+		store := cas.NewStoreWith(cl)
+		b.ReportAllocs()
+		b.SetBytes(clusterBlobSize)
+		b.ResetTimer()
+		next := make(chan int, g)
+		done := make(chan error, g)
+		for w := 0; w < g; w++ {
+			go func() {
+				for i := range next {
+					if _, err := store.Put(benchBlob(base, i)); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < g; w++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return result{}, benchErr
+	}
+	return mkResult(fmt.Sprintf("cluster/ingest/goroutines=%d", g), r, 0, clusterBlobSize), nil
+}
+
+// benchClusterRestore pre-populates the fleet, then measures verified
+// reads (replica fallback path, fixity checked client-side on every Get)
+// with g client goroutines.
+func benchClusterRestore(g int, blobs int) (result, error) {
+	base := bytes.Repeat([]byte("daspos cluster payload "), clusterBlobSize/23+1)[:clusterBlobSize]
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		cl, shutdown, err := startBenchCluster()
+		if err != nil {
+			benchErr = err
+			b.Skip()
+		}
+		defer shutdown()
+		store := cas.NewStoreWith(cl)
+		digests := make([]string, blobs)
+		for i := range digests {
+			d, err := store.Put(benchBlob(base, i))
+			if err != nil {
+				benchErr = err
+				b.Skip()
+			}
+			digests[i] = d
+		}
+		b.ReportAllocs()
+		b.SetBytes(clusterBlobSize)
+		b.ResetTimer()
+		next := make(chan int, g)
+		done := make(chan error, g)
+		for w := 0; w < g; w++ {
+			go func() {
+				for i := range next {
+					if _, err := store.Get(digests[i%len(digests)]); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < g; w++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return result{}, benchErr
+	}
+	return mkResult(fmt.Sprintf("cluster/restore/goroutines=%d", g), r, 0, clusterBlobSize), nil
+}
+
+// runClusterBench runs the multi-node section and writes out its report.
+func runClusterBench(out string, short bool, stamp int64) error {
+	goroutines := []int{1, 4, 8}
+	blobs := 256
+	if short {
+		goroutines = []int{1, 4}
+		blobs = 64
+	}
+	rep := clusterReport{
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Nodes:             clusterNodes,
+		ReplicationFactor: clusterRF,
+		BlobBytes:         clusterBlobSize,
+		Short:             short,
+		Unix:              stamp,
+	}
+	log.Printf("multi-node section: %d nodes, RF %d", clusterNodes, clusterRF)
+	for _, g := range goroutines {
+		r, err := benchClusterIngest(g)
+		if err != nil {
+			return fmt.Errorf("cluster ingest bench: %w", err)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	for _, g := range goroutines {
+		r, err := benchClusterRestore(g, blobs)
+		if err != nil {
+			return fmt.Errorf("cluster restore bench: %w", err)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		extra := ""
+		if r.MBPerSec > 0 {
+			extra = fmt.Sprintf("  %.1f MB/s", r.MBPerSec)
+		}
+		log.Printf("%-32s %12.0f ns/op %8d allocs/op%s", r.Name, r.NsPerOp, r.AllocsPerOp, extra)
+	}
+	log.Printf("wrote %s", out)
+	return nil
+}

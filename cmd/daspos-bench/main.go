@@ -70,8 +70,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator and simulation seed")
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the pipeline benchmark")
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "multi-node benchmark output JSON path (empty disables the section)")
 	short := flag.Bool("short", false, "smoke mode: small sample, fewer worker counts")
 	stamp := flag.Int64("stamp", 0, "generated_unix stamp recorded in the report; 0 keeps the report byte-stable across identical runs (pass $(date +%s) to record the real time)")
+	allowSingleCPU := flag.Bool("allow-single-cpu", false, "permit a multi-worker sweep at GOMAXPROCS=1 (numbers will not show scaling)")
 	flag.Parse()
 
 	workers, err := parseWorkers(*workersList)
@@ -83,6 +85,12 @@ func main() {
 			*events = 60
 		}
 		workers = []int{1, 4}
+	}
+	// A worker sweep on one CPU produces numbers that look like a scaling
+	// curve but cannot be one; refuse rather than record them as if they
+	// meant something.
+	if runtime.GOMAXPROCS(0) == 1 && len(workers) > 1 && !*allowSingleCPU {
+		log.Fatalf("refusing a %d-point worker sweep at GOMAXPROCS=1: the curve cannot show scaling (pass -allow-single-cpu to record it anyway, or -workers 1)", len(workers))
 	}
 
 	log.Printf("generating %d-event RECO sample (seed %d)...", *events, *seed)
@@ -133,6 +141,12 @@ func main() {
 		log.Printf("%-32s %12.0f ns/op %8d allocs/op%s", r.Name, r.NsPerOp, r.AllocsPerOp, extra)
 	}
 	log.Printf("wrote %s", *out)
+
+	if *clusterOut != "" {
+		if err := runClusterBench(*clusterOut, *short, *stamp); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func parseWorkers(s string) ([]int, error) {

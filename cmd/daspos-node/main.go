@@ -1,0 +1,71 @@
+// Command daspos-node runs one storage node of the preservation network:
+// a content-addressed blob store served over the wire protocol documented
+// in internal/node. A cluster is just N of these processes plus a client
+// (internal/cluster) that places digests across them with consistent
+// hashing and keeps them converged with anti-entropy sweeps.
+//
+// Usage:
+//
+//	daspos-node -id site-a -listen :7701 [-shards 8]
+//
+// The node stores blobs in memory, sharded for concurrent access; it is a
+// replication endpoint, not an archive of record — durability comes from
+// the replication factor across nodes, and the archive layer's ledger
+// stays on the coordinating side. SIGINT/SIGTERM drain in-flight requests
+// and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"daspos/internal/cas"
+	"daspos/internal/node"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("daspos-node: ")
+	id := flag.String("id", "", "node identity within the cluster (required)")
+	listen := flag.String("listen", ":7701", "listen address")
+	shards := flag.Int("shards", 0, "backend shard count (0 = GOMAXPROCS-derived)")
+	flag.Parse()
+	if *id == "" {
+		log.Print("missing required -id")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	n := node.New(*id, cas.NewShardedBackend(*shards))
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           n.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("node %s serving on %s", *id, *listen)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("node %s draining (%d blobs held)", *id, n.Blobs())
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("shutdown: %v", err)
+	}
+}

@@ -31,6 +31,8 @@ var CloseCheck = &Analyzer{
 			"internal/workflow",
 			"internal/rawdata",
 			"internal/recast",
+			"internal/node",
+			"internal/cluster",
 		)(path)
 	},
 	Run: runCloseCheck,

@@ -21,6 +21,8 @@ var CtxProp = &Analyzer{
 		"internal/eventflow",
 		"internal/recast",
 		"internal/archive",
+		"internal/node",
+		"internal/cluster",
 	),
 	Run: runCtxProp,
 }

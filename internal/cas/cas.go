@@ -245,19 +245,31 @@ func (s *Store) PutReader(r io.Reader) (string, int64, error) {
 	return d, n, nil
 }
 
-// decodeVerified decodes the marker-framed blob and fixity-checks one
-// backend read.
-func decodeVerified(b Backend, digest string) (data, comp []byte, logical int64, err error) {
-	comp, logical, err = b.GetBlob(digest)
+// EncodeBlob returns the marker-framed stored form of a payload — the
+// bytes a Backend holds and the preservation-network wire protocol ships.
+// Exported so storage nodes and cluster clients speak the same framing the
+// local store writes.
+func EncodeBlob(data []byte) ([]byte, error) {
+	buf, err := encodeBlob(data)
 	if err != nil {
-		if errors.Is(err, ErrNotFound) {
-			return nil, nil, 0, err
-		}
-		return nil, nil, 0, fmt.Errorf("cas: reading %s: %w", digest, err)
+		return nil, err
 	}
+	out := append([]byte(nil), buf.Bytes()...)
+	blobBufPool.Put(buf)
+	return out, nil
+}
+
+// DecodeBlob decodes a marker-framed stored blob and fixity-checks the
+// payload against its content address, returning the logical bytes. It is
+// the single verification primitive every trust boundary shares: the local
+// Store on read, a storage node on ingest (rejecting corrupt-on-the-wire
+// writes), and a cluster client on replica reads (so one lying replica
+// cannot poison a quorum).
+func DecodeBlob(digest string, comp []byte) ([]byte, error) {
 	if len(comp) == 0 {
-		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("empty stored blob")}
+		return nil, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("empty stored blob")}
 	}
+	var data []byte
 	switch comp[0] {
 	case blobRaw:
 		// Copy: backends may return their stored slice, and callers own
@@ -268,16 +280,33 @@ func decodeVerified(b Backend, digest string) (data, comp []byte, logical int64,
 		var derr error
 		data, derr = io.ReadAll(zr)
 		if derr != nil {
-			return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
+			return nil, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
 		}
 		if cerr := zr.Close(); cerr != nil {
-			return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: cerr}
+			return nil, &CorruptError{Digest: digest, Expected: digest, Cause: cerr}
 		}
 	default:
-		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("unknown blob encoding 0x%02x", comp[0])}
+		return nil, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("unknown blob encoding 0x%02x", comp[0])}
 	}
 	if actual := Digest(data); actual != digest {
-		return nil, nil, 0, &CorruptError{Digest: digest, Expected: digest, Actual: actual}
+		return nil, &CorruptError{Digest: digest, Expected: digest, Actual: actual}
+	}
+	return data, nil
+}
+
+// decodeVerified decodes the marker-framed blob and fixity-checks one
+// backend read.
+func decodeVerified(b Backend, digest string) (data, comp []byte, logical int64, err error) {
+	comp, logical, err = b.GetBlob(digest)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, nil, 0, err
+		}
+		return nil, nil, 0, fmt.Errorf("cas: reading %s: %w", digest, err)
+	}
+	data, err = DecodeBlob(digest, comp)
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	return data, comp, logical, nil
 }

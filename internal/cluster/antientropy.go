@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"daspos/internal/cas"
+)
+
+// Anti-entropy: the background repair loop that makes the cluster
+// converge back to full replication and 100% fixity after nodes die,
+// partitions heal, or replicas rot. A sweep walks the digest keyspace in
+// hex-prefix ranges, cross-checks fixity between the replicas of every
+// digest (verification runs node-local, so a healthy cluster pays verdict
+// traffic, not blob traffic), re-replicates every missing or corrupt copy
+// from any healthy one, and — once a digest's owners are all healthy —
+// trims copies stranded on non-owners by rebalancing.
+
+// sweepRanges partitions the digest keyspace into the 16 hex-prefix
+// ranges a sweep walks, each a half-open [start, end) pair (the last is
+// unbounded above).
+func sweepRanges() [][2]string {
+	const hex = "0123456789abcdef"
+	out := make([][2]string, 16)
+	for i := 0; i < 16; i++ {
+		start, end := "", ""
+		if i > 0 {
+			start = string(hex[i])
+		}
+		if i < 15 {
+			end = string(hex[i+1])
+		}
+		out[i] = [2]string{start, end}
+	}
+	return out
+}
+
+// SweepReport summarizes one anti-entropy pass.
+type SweepReport struct {
+	// Digests is the size of the union keyspace this sweep saw.
+	Digests int
+	// Healthy counts digests whose whole replica set verified clean with
+	// nothing to do.
+	Healthy int
+	// Repaired counts replica copies restored (missing re-replicated or
+	// corrupt overwritten from a healthy copy).
+	Repaired int
+	// Removed counts stranded non-owner copies trimmed after their
+	// digest's owners all verified healthy.
+	Removed int
+	// Unrecoverable counts digests with no healthy copy on any reachable
+	// node — data loss unless an unreachable node still holds one.
+	Unrecoverable int
+	// Errors counts repair or verification attempts that failed this
+	// pass (transient faults, unreachable owners); the next sweep tries
+	// again.
+	Errors int
+	// Unreachable lists members that could not be listed, sorted.
+	Unreachable []string
+}
+
+// Converged reports whether the pass proved the cluster fully replicated
+// and fixity-clean: every member answered, every digest's replica set
+// verified healthy, and the sweep changed nothing.
+func (r SweepReport) Converged() bool {
+	return len(r.Unreachable) == 0 &&
+		r.Repaired == 0 && r.Removed == 0 &&
+		r.Unrecoverable == 0 && r.Errors == 0 &&
+		r.Healthy == r.Digests
+}
+
+// String renders the report for logs.
+func (r SweepReport) String() string {
+	return fmt.Sprintf("digests=%d healthy=%d repaired=%d removed=%d unrecoverable=%d errors=%d unreachable=%d",
+		r.Digests, r.Healthy, r.Repaired, r.Removed, r.Unrecoverable, r.Errors, len(r.Unreachable))
+}
+
+// locate walks the keyspace ranges on every member and returns which
+// nodes hold which digests, plus the members that could not be listed. It
+// fails only when no member answered at all.
+func (c *Client) locate(ctx context.Context) (map[string]map[string]bool, []string, error) {
+	conns := c.allConns()
+	located := make(map[string]map[string]bool)
+	var unreachable []string
+	reachable := 0
+	for _, nc := range conns {
+		ok := true
+		var ds []string
+		for _, rg := range sweepRanges() {
+			page, err := c.listRange(ctx, nc, rg[0], rg[1])
+			if err != nil {
+				ok = false
+				break
+			}
+			ds = append(ds, page...)
+		}
+		if !ok {
+			unreachable = append(unreachable, nc.id)
+			continue
+		}
+		reachable++
+		for _, d := range ds {
+			holders := located[d]
+			if holders == nil {
+				holders = make(map[string]bool)
+				located[d] = holders
+			}
+			holders[nc.id] = true
+		}
+	}
+	sort.Strings(unreachable)
+	if reachable == 0 {
+		return nil, unreachable, fmt.Errorf("cluster: sweep: no member reachable")
+	}
+	return located, unreachable, nil
+}
+
+// replicaState is one owner's verdict for one digest.
+type replicaState int
+
+const (
+	replicaHealthy replicaState = iota
+	replicaMissing
+	replicaCorrupt
+	replicaUnreachable
+)
+
+// inspect asks one owner for its verdict on one digest.
+func (c *Client) inspect(ctx context.Context, nc *nodeConn, digest string) replicaState {
+	v, err := c.verifyOn(ctx, nc, digest)
+	switch {
+	case err == nil && v.OK:
+		return replicaHealthy
+	case err == nil:
+		return replicaCorrupt
+	case errors.Is(err, cas.ErrNotFound):
+		return replicaMissing
+	default:
+		return replicaUnreachable
+	}
+}
+
+// Sweep runs one anti-entropy pass over the whole keyspace, fanning the
+// per-digest work across workers. It returns the pass summary; the error
+// is reserved for a sweep that could not even start (context dead, no
+// member reachable).
+func (c *Client) Sweep(ctx context.Context) (SweepReport, error) {
+	var rep SweepReport
+	located, unreachable, err := c.locate(ctx)
+	if err != nil {
+		return rep, err
+	}
+	rep.Unreachable = unreachable
+	digests := make([]string, 0, len(located))
+	for d := range located {
+		digests = append(digests, d)
+	}
+	sort.Strings(digests)
+	rep.Digests = len(digests)
+	// Trimming stranded copies is only safe when the whole membership
+	// answered: an unreachable node may be the one holding the last good
+	// replica of something.
+	canRemove := len(unreachable) == 0
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > len(digests) {
+		workers = len(digests)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	next := make(chan string)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for d := range next {
+				local := c.sweepDigest(ctx, d, located[d], canRemove)
+				mu.Lock()
+				rep.Healthy += local.Healthy
+				rep.Repaired += local.Repaired
+				rep.Removed += local.Removed
+				rep.Unrecoverable += local.Unrecoverable
+				rep.Errors += local.Errors
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, d := range digests {
+		select {
+		case next <- d:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return rep, cerr
+	}
+	return rep, nil
+}
+
+// sweepDigest reconciles one digest's replica set. holders is the set of
+// node IDs whose listings included the digest.
+func (c *Client) sweepDigest(ctx context.Context, digest string, holders map[string]bool, canRemove bool) SweepReport {
+	var rep SweepReport
+	owners := c.ownerConns(digest)
+	if len(owners) == 0 {
+		rep.Errors++
+		return rep
+	}
+	states := make([]replicaState, len(owners))
+	blocked := false // an owner we could not interrogate
+	var broken []*nodeConn
+	srcOrder := make([]*nodeConn, 0, len(owners))
+	for i, nc := range owners {
+		states[i] = c.inspect(ctx, nc, digest)
+		switch states[i] {
+		case replicaHealthy:
+			srcOrder = append(srcOrder, nc)
+		case replicaMissing, replicaCorrupt:
+			broken = append(broken, nc)
+		case replicaUnreachable:
+			blocked = true
+		}
+	}
+	if len(broken) == 0 && !blocked {
+		rep.Healthy++
+		if canRemove {
+			rep.merge(c.trimStrays(ctx, digest, holders, owners))
+		}
+		return rep
+	}
+	if blocked {
+		rep.Errors++
+	}
+	if len(broken) == 0 {
+		return rep
+	}
+	// No healthy owner: fall back to any non-owner still holding a copy
+	// (stranded by an earlier membership) before declaring loss.
+	if len(srcOrder) == 0 {
+		ownerIDs := make(map[string]bool, len(owners))
+		for _, nc := range owners {
+			ownerIDs[nc.id] = true
+		}
+		for _, nc := range c.allConns() {
+			if ownerIDs[nc.id] || !holders[nc.id] {
+				continue
+			}
+			if c.inspect(ctx, nc, digest) == replicaHealthy {
+				srcOrder = append(srcOrder, nc)
+				break
+			}
+		}
+	}
+	if len(srcOrder) == 0 {
+		if blocked {
+			return rep // an unreachable node may still hold it; not loss yet
+		}
+		rep.Unrecoverable++
+		return rep
+	}
+	var (
+		comp    []byte
+		logical int64
+		fetched bool
+	)
+	for _, src := range srcOrder {
+		var err error
+		comp, logical, err = c.getFrom(ctx, src, digest)
+		if err == nil {
+			fetched = true
+			break
+		}
+	}
+	if !fetched {
+		rep.Errors++
+		return rep
+	}
+	for _, nc := range broken {
+		if err := c.putTo(ctx, nc, digest, comp, logical); err != nil {
+			rep.Errors++
+		} else {
+			rep.Repaired++
+		}
+	}
+	return rep
+}
+
+// trimStrays deletes copies of a fully healthy digest from members that
+// are no longer in its replica set — the shrink half of rebalancing.
+func (c *Client) trimStrays(ctx context.Context, digest string, holders map[string]bool, owners []*nodeConn) SweepReport {
+	var rep SweepReport
+	ownerIDs := make(map[string]bool, len(owners))
+	for _, nc := range owners {
+		ownerIDs[nc.id] = true
+	}
+	for _, nc := range c.allConns() {
+		if !holders[nc.id] || ownerIDs[nc.id] {
+			continue
+		}
+		if err := c.deleteOn(ctx, nc, digest); err != nil {
+			rep.Errors++
+		} else {
+			rep.Removed++
+		}
+	}
+	return rep
+}
+
+// merge folds another per-digest report into this one.
+func (r *SweepReport) merge(o SweepReport) {
+	r.Healthy += o.Healthy
+	r.Repaired += o.Repaired
+	r.Removed += o.Removed
+	r.Unrecoverable += o.Unrecoverable
+	r.Errors += o.Errors
+}
+
+// SweepUntilConverged repeats Sweep until a pass proves the cluster
+// healthy (see SweepReport.Converged) or the budget runs out. It returns
+// the final report; non-convergence is an error carrying it.
+func (c *Client) SweepUntilConverged(ctx context.Context, maxSweeps int) (SweepReport, error) {
+	if maxSweeps < 1 {
+		maxSweeps = 1
+	}
+	var last SweepReport
+	for i := 0; i < maxSweeps; i++ {
+		rep, err := c.Sweep(ctx)
+		if err != nil {
+			return rep, err
+		}
+		last = rep
+		if rep.Converged() {
+			return rep, nil
+		}
+	}
+	return last, fmt.Errorf("cluster: anti-entropy did not converge after %d sweeps (%s)", maxSweeps, last)
+}

@@ -1,0 +1,538 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"daspos/internal/cas"
+	"daspos/internal/node"
+	"daspos/internal/resilience"
+)
+
+// NodeInfo names one storage node: a stable identity (what the ring
+// hashes — it must survive restarts and address changes) and its current
+// base URL.
+type NodeInfo struct {
+	ID  string
+	URL string
+}
+
+// Config tunes a Client. Zero fields get defaults.
+type Config struct {
+	// Nodes is the initial membership.
+	Nodes []NodeInfo
+	// ReplicationFactor is how many nodes hold each blob. Values < 1
+	// mean 3; capped at the member count during placement.
+	ReplicationFactor int
+	// WriteQuorum is how many replica acks a put needs. Values < 1 mean
+	// a majority of the effective replication factor.
+	WriteQuorum int
+	// VNodes is the virtual-node count per member; < 1 selects the
+	// default.
+	VNodes int
+	// Transport is the HTTP transport node traffic runs over — the hook
+	// chaos tests inject network faults through. Nil means
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Retry is the per-node-operation retry policy. A zero policy gets a
+	// small capped-backoff schedule; transient faults (network blips,
+	// 5xx storms) are retried, everything else fails fast.
+	Retry resilience.Policy
+	// Breaker tunes the per-node circuit breakers that keep a dead or
+	// partitioned node from stalling every operation.
+	Breaker resilience.BreakerConfig
+	// RequestTimeout bounds each HTTP attempt. Values <= 0 mean 10s.
+	RequestTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the per-node-operation retry schedule: a few
+// quick, capped, jittered attempts. Deterministic via the seed, like every
+// resilience policy in the tree.
+func DefaultRetryPolicy() resilience.Policy {
+	return resilience.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   2 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Jitter:      0.2,
+	}
+}
+
+// nodeConn is the client's view of one member: identity, address, and the
+// circuit breaker guarding calls to it.
+type nodeConn struct {
+	id      string
+	base    string
+	breaker *resilience.Breaker
+}
+
+// Client places blobs across the cluster. It implements cas.Backend, so a
+// cas.Store (and therefore a whole archive) can sit directly on top of the
+// network: compression and fixity stay in the store, placement and quorum
+// live here, and the nodes stay dumb.
+//
+// The construction context bounds every operation issued through the
+// cas.Backend interface (whose methods cannot take one); cancelling it
+// renders the client inert.
+type Client struct {
+	ctx     context.Context
+	httpc   *http.Client
+	retry   resilience.Policy
+	breaker resilience.BreakerConfig
+	rf      int
+	quorum  int // 0 = majority of effective RF
+	ring    *Ring
+
+	mu    sync.RWMutex
+	conns map[string]*nodeConn
+}
+
+var _ cas.Backend = (*Client)(nil)
+
+// New returns a client over the given membership. The context is retained:
+// it is the lifetime of every backend operation the client issues.
+func New(ctx context.Context, cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	rf := cfg.ReplicationFactor
+	if rf < 1 {
+		rf = 3
+	}
+	retry := cfg.Retry
+	if retry.MaxAttempts == 0 && retry.BaseDelay == 0 {
+		retry = DefaultRetryPolicy()
+	}
+	if retry.AttemptTimeout <= 0 {
+		retry.AttemptTimeout = cfg.RequestTimeout
+		if retry.AttemptTimeout <= 0 {
+			retry.AttemptTimeout = 10 * time.Second
+		}
+	}
+	c := &Client{
+		ctx:     ctx,
+		httpc:   &http.Client{Transport: cfg.Transport},
+		retry:   retry,
+		breaker: cfg.Breaker,
+		rf:      rf,
+		quorum:  cfg.WriteQuorum,
+		ring:    NewRing(cfg.VNodes),
+		conns:   make(map[string]*nodeConn),
+	}
+	for _, n := range cfg.Nodes {
+		if err := c.addNode(n); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Client) addNode(n NodeInfo) error {
+	if n.ID == "" || n.URL == "" {
+		return fmt.Errorf("cluster: node needs both ID and URL (got %+v)", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.conns[n.ID]; dup {
+		return fmt.Errorf("cluster: duplicate node ID %q", n.ID)
+	}
+	c.conns[n.ID] = &nodeConn{id: n.ID, base: n.URL, breaker: resilience.NewBreaker(c.breaker)}
+	c.ring.Add(n.ID)
+	return nil
+}
+
+// AddNode joins a node to the ring. Placement shifts immediately; the next
+// anti-entropy sweep moves the blobs (rebalancing onto the newcomer and,
+// once replicas are healthy, trimming copies that no longer belong).
+func (c *Client) AddNode(n NodeInfo) error { return c.addNode(n) }
+
+// RemoveNode leaves a node from the ring. Digests it owned get new owner
+// sets; the next sweep restores the replication factor on the survivors.
+// Removing an unknown ID is a no-op.
+func (c *Client) RemoveNode(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, id)
+	c.ring.Remove(id)
+}
+
+// Nodes returns the sorted member IDs.
+func (c *Client) Nodes() []string { return c.ring.Nodes() }
+
+// Owners returns the digest's replica set under current membership, in
+// preference order.
+func (c *Client) Owners(digest string) []string {
+	return c.ring.Owners(digest, c.rf)
+}
+
+// ownerConns resolves the replica set to live connections.
+func (c *Client) ownerConns(digest string) []*nodeConn {
+	ids := c.ring.Owners(digest, c.rf)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*nodeConn, 0, len(ids))
+	for _, id := range ids {
+		if nc, ok := c.conns[id]; ok {
+			out = append(out, nc)
+		}
+	}
+	return out
+}
+
+// allConns snapshots every member connection, sorted by ID.
+func (c *Client) allConns() []*nodeConn {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*nodeConn, 0, len(c.conns))
+	for _, nc := range c.conns {
+		out = append(out, nc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// writeQuorum returns the ack count a put over n replicas needs.
+func (c *Client) writeQuorum(n int) int {
+	q := c.quorum
+	if q < 1 {
+		q = n/2 + 1
+	}
+	if q > n {
+		q = n
+	}
+	return q
+}
+
+// callResult is one settled HTTP exchange with a node.
+type callResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// once performs a single HTTP exchange. Transport failures are transient
+// (the resilience layer may retry them); responses — any status — settle
+// the call.
+func (c *Client) once(ctx context.Context, nc *nodeConn, method, path string, q url.Values, hdr http.Header, body []byte) (callResult, error) {
+	u := nc.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return callResult{}, resilience.MarkPermanent(fmt.Errorf("cluster: building %s %s: %w", method, u, err))
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return callResult{}, resilience.MarkTransient(fmt.Errorf("cluster: node %s unreachable: %w", nc.id, err))
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return callResult{}, resilience.MarkTransient(fmt.Errorf("cluster: node %s: reading response: %w", nc.id, err))
+	}
+	return callResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// call runs one node operation under the breaker and the retry policy:
+// transport errors and 5xx answers count against the node's health and
+// are retried; any other status settles the call and reads as node
+// health.
+func (c *Client) call(ctx context.Context, nc *nodeConn, method, path string, q url.Values, hdr http.Header, body []byte) (callResult, error) {
+	var out callResult
+	err := resilience.Retry(ctx, c.retry, func(ctx context.Context) error {
+		return nc.breaker.Do(func() error {
+			res, err := c.once(ctx, nc, method, path, q, hdr, body)
+			if err != nil {
+				return err
+			}
+			if res.status >= 500 {
+				return resilience.MarkTransient(fmt.Errorf("cluster: node %s: %s %s: HTTP %d: %s",
+					nc.id, method, path, res.status, bytes.TrimSpace(res.body)))
+			}
+			out = res
+			return nil
+		})
+	})
+	return out, err
+}
+
+// putTo writes one stored-form blob to one node.
+func (c *Client) putTo(ctx context.Context, nc *nodeConn, digest string, comp []byte, logical int64) error {
+	hdr := http.Header{node.LogicalHeader: []string{strconv.FormatInt(logical, 10)}}
+	res, err := c.call(ctx, nc, http.MethodPut, "/v1/blobs/"+digest, nil, hdr, comp)
+	if err != nil {
+		return err
+	}
+	switch res.status {
+	case http.StatusNoContent, http.StatusOK, http.StatusCreated:
+		return nil
+	case http.StatusUnprocessableEntity:
+		// The node's fixity gate refused our bytes: either our copy is
+		// bad (permanent) or the wire mangled it (a retry may cure).
+		// Transient keeps the quorum honest without giving up on a blip.
+		return resilience.MarkTransient(fmt.Errorf("cluster: node %s refused %s: %s", nc.id, short(digest), bytes.TrimSpace(res.body)))
+	default:
+		return resilience.MarkPermanent(fmt.Errorf("cluster: node %s: put %s: unexpected HTTP %d", nc.id, short(digest), res.status))
+	}
+}
+
+// getFrom reads one blob from one node and verifies it client-side, so a
+// corrupt replica (at rest or on the wire) is detected here and the read
+// can fall through to the next owner.
+func (c *Client) getFrom(ctx context.Context, nc *nodeConn, digest string) (comp []byte, logical int64, err error) {
+	res, err := c.call(ctx, nc, http.MethodGet, "/v1/blobs/"+digest, nil, nil, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch res.status {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, 0, &cas.NotFoundError{Digest: digest}
+	default:
+		return nil, 0, resilience.MarkPermanent(fmt.Errorf("cluster: node %s: get %s: unexpected HTTP %d", nc.id, short(digest), res.status))
+	}
+	logical, perr := strconv.ParseInt(res.header.Get(node.LogicalHeader), 10, 64)
+	if perr != nil {
+		return nil, 0, resilience.MarkTransient(fmt.Errorf("cluster: node %s: get %s: bad %s header: %w", nc.id, short(digest), node.LogicalHeader, perr))
+	}
+	if _, derr := cas.DecodeBlob(digest, res.body); derr != nil {
+		return nil, 0, derr
+	}
+	return res.body, logical, nil
+}
+
+// hasOn stats one blob on one node.
+func (c *Client) hasOn(ctx context.Context, nc *nodeConn, digest string) (bool, error) {
+	res, err := c.call(ctx, nc, http.MethodHead, "/v1/blobs/"+digest, nil, nil, nil)
+	if err != nil {
+		return false, err
+	}
+	return res.status == http.StatusOK, nil
+}
+
+// deleteOn removes one blob from one node.
+func (c *Client) deleteOn(ctx context.Context, nc *nodeConn, digest string) error {
+	_, err := c.call(ctx, nc, http.MethodDelete, "/v1/blobs/"+digest, nil, nil, nil)
+	return err
+}
+
+// verifyOn asks one node for its local fixity verdict on one blob.
+func (c *Client) verifyOn(ctx context.Context, nc *nodeConn, digest string) (node.VerifyResult, error) {
+	res, err := c.call(ctx, nc, http.MethodGet, "/v1/verify/"+digest, nil, nil, nil)
+	if err != nil {
+		return node.VerifyResult{}, err
+	}
+	switch res.status {
+	case http.StatusOK:
+		var v node.VerifyResult
+		if uerr := json.Unmarshal(res.body, &v); uerr != nil {
+			return node.VerifyResult{}, resilience.MarkTransient(fmt.Errorf("cluster: node %s: verify %s: bad response: %w", nc.id, short(digest), uerr))
+		}
+		return v, nil
+	case http.StatusNotFound:
+		return node.VerifyResult{}, &cas.NotFoundError{Digest: digest}
+	default:
+		return node.VerifyResult{}, resilience.MarkPermanent(fmt.Errorf("cluster: node %s: verify %s: unexpected HTTP %d", nc.id, short(digest), res.status))
+	}
+}
+
+// listRange lists one node's digests in the half-open range [start, end).
+func (c *Client) listRange(ctx context.Context, nc *nodeConn, start, end string) ([]string, error) {
+	q := url.Values{}
+	if start != "" {
+		q.Set("start", start)
+	}
+	if end != "" {
+		q.Set("end", end)
+	}
+	res, err := c.call(ctx, nc, http.MethodGet, "/v1/digests", q, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.status != http.StatusOK {
+		return nil, resilience.MarkPermanent(fmt.Errorf("cluster: node %s: digests: unexpected HTTP %d", nc.id, res.status))
+	}
+	var out []string
+	if uerr := json.Unmarshal(res.body, &out); uerr != nil {
+		return nil, resilience.MarkTransient(fmt.Errorf("cluster: node %s: digests: bad response: %w", nc.id, uerr))
+	}
+	return out, nil
+}
+
+// PutBlob implements cas.Backend: a quorum write across the digest's
+// replica set. All replicas are written concurrently; the put succeeds
+// once a write quorum acks, and anti-entropy later completes any replica
+// a fault kept out of the quorum.
+func (c *Client) PutBlob(digest string, comp []byte, logical int64) error {
+	ctx := c.ctx
+	owners := c.ownerConns(digest)
+	if len(owners) == 0 {
+		return resilience.MarkPermanent(fmt.Errorf("cluster: no nodes available for %s", short(digest)))
+	}
+	quorum := c.writeQuorum(len(owners))
+	results := make(chan error, len(owners))
+	for _, nc := range owners {
+		go func(nc *nodeConn) { results <- c.putTo(ctx, nc, digest, comp, logical) }(nc)
+	}
+	acks := 0
+	var firstErr error
+	for range owners {
+		if err := <-results; err == nil {
+			acks++
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if acks >= quorum {
+		return nil
+	}
+	return resilience.MarkTransient(fmt.Errorf("cluster: write quorum not reached for %s: %d/%d acks (need %d): %w",
+		short(digest), acks, len(owners), quorum, firstErr))
+}
+
+// GetBlob implements cas.Backend: replicas are tried in ring preference
+// order, every read is verified client-side, and the first healthy copy
+// wins. Owners that turned out missing or corrupt are repaired in place
+// from the copy that was served (best-effort — the read already
+// succeeded).
+func (c *Client) GetBlob(digest string) ([]byte, int64, error) {
+	ctx := c.ctx
+	owners := c.ownerConns(digest)
+	if len(owners) == 0 {
+		return nil, 0, resilience.MarkPermanent(fmt.Errorf("cluster: no nodes available for %s", short(digest)))
+	}
+	var (
+		firstErr    error
+		broken      []*nodeConn
+		allNotFound = true
+	)
+	for _, nc := range owners {
+		comp, logical, err := c.getFrom(ctx, nc, digest)
+		if err == nil {
+			for _, b := range broken {
+				_ = c.putTo(ctx, b, digest, comp, logical) // read-repair
+			}
+			return comp, logical, nil
+		}
+		if errors.Is(err, cas.ErrNotFound) || errors.Is(err, cas.ErrCorrupt) {
+			broken = append(broken, nc)
+		}
+		if !errors.Is(err, cas.ErrNotFound) {
+			allNotFound = false
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if allNotFound {
+		return nil, 0, &cas.NotFoundError{Digest: digest}
+	}
+	return nil, 0, fmt.Errorf("cluster: no healthy replica of %s: %w", short(digest), firstErr)
+}
+
+// HasBlob implements cas.Backend: true when any owner has the blob. Node
+// failures read as absence — the interface has no error channel, and a
+// false negative only costs an idempotent re-put.
+func (c *Client) HasBlob(digest string) bool {
+	ctx := c.ctx
+	for _, nc := range c.ownerConns(digest) {
+		if ok, err := c.hasOn(ctx, nc, digest); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteBlob implements cas.Backend: best-effort delete on every member
+// (not just owners — rebalancing may have left copies anywhere).
+func (c *Client) DeleteBlob(digest string) {
+	ctx := c.ctx
+	for _, nc := range c.allConns() {
+		_ = c.deleteOn(ctx, nc, digest)
+	}
+}
+
+// Digests implements cas.Backend: the sorted union over every reachable
+// member. Unreachable members are skipped — the audit-grade variant with
+// error reporting is DigestsCtx.
+func (c *Client) Digests() []string {
+	ds, _, _ := c.DigestsCtx(c.ctx)
+	return ds
+}
+
+// DigestsCtx returns the sorted digest union over every member, with the
+// IDs of members that could not be listed. It fails only when no member
+// is reachable at all.
+func (c *Client) DigestsCtx(ctx context.Context) ([]string, []string, error) {
+	located, unreachable, err := c.locate(ctx)
+	if err != nil {
+		return nil, unreachable, err
+	}
+	out := make([]string, 0, len(located))
+	for d := range located {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out, unreachable, nil
+}
+
+// NodeHealth is one member's health snapshot, as the cluster client sees
+// it.
+type NodeHealth struct {
+	ID        string
+	Reachable bool
+	Blobs     int
+	Breaker   resilience.BreakerStats
+}
+
+// Health polls every member, returning snapshots sorted by node ID.
+func (c *Client) Health(ctx context.Context) []NodeHealth {
+	conns := c.allConns()
+	out := make([]NodeHealth, len(conns))
+	var wg sync.WaitGroup
+	wg.Add(len(conns))
+	for i, nc := range conns {
+		go func(i int, nc *nodeConn) {
+			defer wg.Done()
+			h := NodeHealth{ID: nc.id}
+			if res, err := c.call(ctx, nc, http.MethodGet, "/v1/health", nil, nil, nil); err == nil && res.status == http.StatusOK {
+				var doc node.Health
+				if json.Unmarshal(res.body, &doc) == nil {
+					h.Reachable = true
+					h.Blobs = doc.Blobs
+				}
+			}
+			h.Breaker = nc.breaker.Stats()
+			out[i] = h
+		}(i, nc)
+	}
+	wg.Wait()
+	return out
+}
+
+// short truncates a digest for error messages.
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}

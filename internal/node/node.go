@@ -1,0 +1,257 @@
+// Package node implements one storage node of the preservation network:
+// a cas.Backend served over a small HTTP wire protocol (streaming blob
+// put/get, stat, node-local fixity verification, and range-bounded digest
+// listing for anti-entropy sweeps).
+//
+// DPHEP frames sustainable preservation as a global, multi-site effort —
+// no single machine is the archive. A node is therefore deliberately dumb:
+// it stores marker-framed blobs exactly as the local CAS would, verifies
+// fixity at its own trust boundary (a corrupt-on-the-wire write is refused
+// with 422 before it can ever be served), and leaves placement, quorum,
+// and repair to the cluster client above it. Every handler honours the
+// request context, so a dying client or a draining server never wedges a
+// node.
+//
+// Wire protocol (all blob bodies are the marker-framed stored form, with
+// the logical payload size in the X-Daspos-Logical header):
+//
+//	GET    /v1/health          → 200 {"id":..,"blobs":N}
+//	GET    /v1/digests?start=&end=&limit=  → 200 sorted JSON digest list in [start,end)
+//	PUT    /v1/blobs/{digest}  → 204; 422 when the body fails fixity
+//	GET    /v1/blobs/{digest}  → 200 body; 404 when absent
+//	HEAD   /v1/blobs/{digest}  → 200/404
+//	DELETE /v1/blobs/{digest}  → 204 (idempotent)
+//	GET    /v1/verify/{digest} → 200 {"digest":..,"ok":..,"error":..}; 404 when absent
+package node
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"daspos/internal/cas"
+)
+
+// LogicalHeader carries the uncompressed payload size of a blob body, so
+// stores on both ends keep accurate logical statistics without inflating
+// the blob.
+const LogicalHeader = "X-Daspos-Logical"
+
+// maxBlobBytes bounds one blob body; a put larger than this is rejected
+// rather than ballooning node memory.
+const maxBlobBytes = 1 << 30
+
+// Node is one storage node: a raw blob backend plus the HTTP surface the
+// cluster speaks to it.
+type Node struct {
+	id      string
+	backend cas.Backend
+}
+
+// New returns a node with the given identity over the given backend; a nil
+// backend gets a fresh sharded in-memory one.
+func New(id string, backend cas.Backend) *Node {
+	if backend == nil {
+		backend = cas.NewShardedBackend(0)
+	}
+	return &Node{id: id, backend: backend}
+}
+
+// ID returns the node's identity — the name the placement ring hashes.
+func (n *Node) ID() string { return n.id }
+
+// Backend exposes the underlying blob storage (operational tooling and
+// chaos tests reach through it).
+func (n *Node) Backend() cas.Backend { return n.backend }
+
+// Blobs returns the number of stored blobs.
+func (n *Node) Blobs() int { return len(n.backend.Digests()) }
+
+// Corrupt flips a byte of a stored blob — the bit-rot hook disaster drills
+// drive against individual replicas.
+func (n *Node) Corrupt(digest string) error {
+	c, ok := n.backend.(cas.Corrupter)
+	if !ok {
+		return fmt.Errorf("node: backend %T does not support fault injection", n.backend)
+	}
+	return c.CorruptBlob(digest)
+}
+
+// Health is the health-endpoint document.
+type Health struct {
+	ID    string `json:"id"`
+	Blobs int    `json:"blobs"`
+}
+
+// VerifyResult is the verify-endpoint document: the node-local fixity
+// verdict for one blob, computed where the bytes live so an anti-entropy
+// sweep does not pay blob transfer to learn a replica is healthy.
+type VerifyResult struct {
+	Digest string `json:"digest"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Handler returns the node's HTTP API.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", n.handleHealth)
+	mux.HandleFunc("GET /v1/digests", n.handleDigests)
+	mux.HandleFunc("PUT /v1/blobs/{digest}", n.handlePut)
+	mux.HandleFunc("GET /v1/blobs/{digest}", n.handleGet)
+	mux.HandleFunc("DELETE /v1/blobs/{digest}", n.handleDelete)
+	mux.HandleFunc("GET /v1/verify/{digest}", n.handleVerify)
+	return mux
+}
+
+// validDigest bounds digest path elements to plausible lowercase-hex
+// content addresses (the same 128-char ceiling cas.Load enforces).
+func validDigest(d string) bool {
+	if len(d) == 0 || len(d) > 128 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{ID: n.id, Blobs: n.Blobs()})
+}
+
+// handleDigests lists stored digests, optionally restricted to the
+// half-open lexicographic range [start, end) with a result cap — the
+// range walk anti-entropy sweeps page through.
+func (n *Node) handleDigests(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	start, end := q.Get("start"), q.Get("end")
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "node: bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = v
+	}
+	var out []string
+	for _, d := range n.backend.Digests() {
+		if d < start || (end != "" && d >= end) {
+			continue
+		}
+		out = append(out, d)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	if out == nil {
+		out = []string{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePut ingests one blob. The body is the marker-framed stored form;
+// the node decodes and rehashes it before acknowledging, so a payload
+// corrupted on the wire (or by a lying client) is refused with 422 instead
+// of poisoning the replica set.
+func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !validDigest(digest) {
+		http.Error(w, "node: invalid digest", http.StatusBadRequest)
+		return
+	}
+	logical, err := strconv.ParseInt(r.Header.Get(LogicalHeader), 10, 64)
+	if err != nil || logical < 0 {
+		http.Error(w, "node: missing or bad "+LogicalHeader+" header", http.StatusBadRequest)
+		return
+	}
+	comp, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBlobBytes))
+	if err != nil {
+		http.Error(w, "node: reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, derr := cas.DecodeBlob(digest, comp); derr != nil {
+		http.Error(w, "node: refused: "+derr.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if err := n.backend.PutBlob(digest, comp, logical); err != nil {
+		http.Error(w, "node: storing: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleGet streams one stored blob (HEAD is the stat form: headers only).
+// The node serves its bytes as they are — fixity is judged by the caller,
+// so a corrupt replica is visible to read-repair instead of masked.
+func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !validDigest(digest) {
+		http.Error(w, "node: invalid digest", http.StatusBadRequest)
+		return
+	}
+	comp, logical, err := n.backend.GetBlob(digest)
+	if err != nil {
+		if errors.Is(err, cas.ErrNotFound) {
+			http.Error(w, "node: not found: "+digest, http.StatusNotFound)
+			return
+		}
+		http.Error(w, "node: reading: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(LogicalHeader, strconv.FormatInt(logical, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(comp)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = w.Write(comp)
+}
+
+func (n *Node) handleDelete(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !validDigest(digest) {
+		http.Error(w, "node: invalid digest", http.StatusBadRequest)
+		return
+	}
+	n.backend.DeleteBlob(digest)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleVerify runs the node-local fixity check: decode and rehash where
+// the bytes live, shipping only the verdict.
+func (n *Node) handleVerify(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	if !validDigest(digest) {
+		http.Error(w, "node: invalid digest", http.StatusBadRequest)
+		return
+	}
+	comp, _, err := n.backend.GetBlob(digest)
+	if err != nil {
+		if errors.Is(err, cas.ErrNotFound) {
+			http.Error(w, "node: not found: "+digest, http.StatusNotFound)
+			return
+		}
+		http.Error(w, "node: reading: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res := VerifyResult{Digest: digest, OK: true}
+	if _, derr := cas.DecodeBlob(digest, comp); derr != nil {
+		res.OK = false
+		res.Error = derr.Error()
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# bench.sh — run the performance harness and write BENCH_pipeline.json at
-# the repo root. Pass -short for the CI smoke variant (small sample, fewer
-# worker counts); any other arguments are forwarded to daspos-bench.
+# bench.sh — run the performance harness and write BENCH_pipeline.json and
+# BENCH_cluster.json at the repo root. Pass -short for the CI smoke
+# variant (small sample, fewer worker counts); any other arguments are
+# forwarded to daspos-bench. The harness refuses a multi-worker sweep at
+# GOMAXPROCS=1 (the scaling curve would be fiction); pass
+# -allow-single-cpu to override on a one-core box.
 set -eu
 cd "$(dirname "$0")/.."
 
 echo "==> go run ./cmd/daspos-bench $*"
-go run ./cmd/daspos-bench -out BENCH_pipeline.json "$@"
+go run ./cmd/daspos-bench -out BENCH_pipeline.json -cluster-out BENCH_cluster.json "$@"
 
-echo "bench: wrote BENCH_pipeline.json"
+echo "bench: wrote BENCH_pipeline.json and BENCH_cluster.json"
