@@ -74,6 +74,7 @@ func main() {
 	short := flag.Bool("short", false, "smoke mode: small sample, fewer worker counts")
 	stamp := flag.Int64("stamp", 0, "generated_unix stamp recorded in the report; 0 keeps the report byte-stable across identical runs (pass $(date +%s) to record the real time)")
 	allowSingleCPU := flag.Bool("allow-single-cpu", false, "permit a multi-worker sweep at GOMAXPROCS=1 (numbers will not show scaling)")
+	gate := flag.Bool("gate", false, "enforce the performance acceptance thresholds (allocs/op, scaling) and exit nonzero on regression")
 	flag.Parse()
 
 	workers, err := parseWorkers(*workersList)
@@ -114,11 +115,13 @@ func main() {
 		benchCodecEncode(sample, "codec/encode/v3", encodeV3),
 		benchCodecDecode(sample, "codec/decode/gob"),
 		benchCodecDecode(sample, "codec/decode/v3"),
+		benchCodecDecodeInto(sample),
 	)
 	for _, g := range []int{1, 4, 8} {
 		rep.Results = append(rep.Results,
 			benchCASPut(fmt.Sprintf("cas/put/mem/goroutines=%d", g), func() cas.Backend { return cas.NewMemBackend() }, g),
 			benchCASPut(fmt.Sprintf("cas/put/sharded/goroutines=%d", g), func() cas.Backend { return cas.NewShardedBackend(0) }, g),
+			benchCASPutChunked(g),
 		)
 	}
 
@@ -142,11 +145,99 @@ func main() {
 	}
 	log.Printf("wrote %s", *out)
 
+	if *gate {
+		if err := checkGates(rep, workers); err != nil {
+			log.Fatalf("performance gate FAILED:\n%v", err)
+		}
+		log.Printf("performance gate passed")
+	}
+
 	if *clusterOut != "" {
 		if err := runClusterBench(*clusterOut, *short, *stamp); err != nil {
 			log.Fatal(err)
 		}
 	}
+}
+
+// checkGates enforces the allocation and scaling acceptance thresholds on
+// a finished report. The allocation gates are machine-independent; the
+// scaling gate adapts to the cores actually available: at GOMAXPROCS ≥ 8
+// the widest sweep point must run ≥ 4× the single-worker rate, at 2–7
+// procs the target is procs/2 (perfectly honest parallel efficiency of
+// 50%), and at one CPU the scaling check is skipped — one core cannot
+// witness a scaling curve, and pretending otherwise is exactly what the
+// single-CPU refusal exists to prevent.
+func checkGates(rep report, workers []int) error {
+	byName := make(map[string]result, len(rep.Results))
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	// Gate 1: arena decode stays under the zero-copy budget. The op decodes
+	// the whole sample, so the bound is per sample, not per event.
+	const decodeAllocBudget = 50
+	if r, ok := byName["codec/decode/v3into"]; !ok {
+		fail("codec/decode/v3into missing from the report")
+	} else if r.AllocsPerOp > decodeAllocBudget {
+		fail("codec/decode/v3into: %d allocs/op, budget %d", r.AllocsPerOp, decodeAllocBudget)
+	}
+
+	// Gate 2: the pipeline must stay out of allocation-bound territory.
+	// Each benchmark op builds a fresh pipeline, so a few allocations per
+	// added worker are construction (goroutine, closure, ring slot) and
+	// amortize to nothing on a real stream; what the gate forbids is the
+	// steady-state kind — per-batch-per-worker allocations like the map
+	// reorderer this PR replaced, which put the sweep at 460–495 allocs/op.
+	// Hence a generous relative bound between sweep points plus an absolute
+	// ceiling well below the old regression.
+	const allocCeiling = 300
+	base, ok := byName[fmt.Sprintf("pipeline/workers=%d", workers[0])]
+	if !ok {
+		fail("pipeline/workers=%d missing from the report", workers[0])
+	}
+	for _, w := range workers {
+		r, ok := byName[fmt.Sprintf("pipeline/workers=%d", w)]
+		if !ok {
+			fail("pipeline/workers=%d missing from the report", w)
+			continue
+		}
+		if r.AllocsPerOp > allocCeiling {
+			fail("pipeline/workers=%d: %d allocs/op, ceiling %d", w, r.AllocsPerOp, allocCeiling)
+		}
+		if w != workers[0] && base.AllocsPerOp > 0 && float64(r.AllocsPerOp) > 1.5*float64(base.AllocsPerOp) {
+			fail("pipeline allocs/op grows with workers: %d at workers=%d vs %d at workers=%d",
+				r.AllocsPerOp, w, base.AllocsPerOp, workers[0])
+		}
+	}
+
+	// Gate 3: scaling, on the cores we actually have.
+	procs := rep.GOMAXPROCS
+	wmax := workers[len(workers)-1]
+	top, ok := byName[fmt.Sprintf("pipeline/workers=%d", wmax)]
+	switch {
+	case procs <= 1 || wmax <= 1:
+		log.Printf("gate: scaling check skipped (GOMAXPROCS=%d, widest sweep point %d)", procs, wmax)
+	case !ok || base.EventsPerSec <= 0:
+		fail("scaling gate needs pipeline results at workers=%d and workers=%d", workers[0], wmax)
+	default:
+		target := float64(min(procs, wmax)) / 2
+		if procs >= 8 && wmax >= 8 {
+			target = 4
+		}
+		speedup := top.EventsPerSec / base.EventsPerSec
+		if speedup < target {
+			fail("pipeline scaling %.2fx at workers=%d (GOMAXPROCS=%d), target %.1fx", speedup, wmax, procs, target)
+		} else {
+			log.Printf("gate: pipeline scaling %.2fx at workers=%d (target %.1fx)", speedup, wmax, target)
+		}
+	}
+
+	if len(errs) > 0 {
+		return fmt.Errorf("  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
 }
 
 func parseWorkers(s string) ([]int, error) {
@@ -196,24 +287,22 @@ func makeSample(events int, seed uint64) []*datamodel.Event {
 	return out
 }
 
-// benchPipeline measures the tentpole path: RECO events stream through an
-// eventflow slim stage with the given worker count, the v3 writer
-// serializes the AOD tier, and the bytes flow through a pipe into
-// cas.PutReader — digest and compression in the same single pass — over a
-// sharded backend.
+// benchPipeline measures the tentpole path, now zero-copy end to end: RECO
+// events stream through an eventflow stage that slims each event to a
+// borrowed AOD view (no deep copy) and encodes the v3 payload on the
+// worker; the ordered sink only frames the pre-encoded payloads
+// (WritePayload) into an in-memory AOD stream, which lands in the store
+// via the chunk-parallel PutWorkers. Batch containers recycle through the
+// stage pool, so steady-state allocations are the per-event payload
+// buffers and nothing else.
 func benchPipeline(sample []*datamodel.Event, workers int) result {
 	var outBytes int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			store := cas.NewStoreWith(cas.NewShardedBackend(0))
-			pr, pw := io.Pipe()
-			done := make(chan error, 1)
-			go func() {
-				_, _, err := store.PutReader(pr)
-				done <- err
-			}()
-			fw, err := datamodel.NewFileWriter(pw, datamodel.TierAOD)
+			var aod bytes.Buffer
+			fw, err := datamodel.NewFileWriter(&aod, datamodel.TierAOD)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -227,12 +316,27 @@ func benchPipeline(sample []*datamodel.Event, workers int) result {
 				idx++
 				return e, nil
 			})
-			aodS := eventflow.Map(src, "slim", workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
-				return e.SlimToAOD(), true, nil
-			})
-			eventflow.SinkBatch(aodS, "aod-write", func(items []*datamodel.Event) error {
-				for _, e := range items {
-					if err := fw.Write(e); err != nil {
+			encS := eventflow.MapBatches(src, "slim-encode", workers,
+				func(_ int) func(in []*datamodel.Event, out [][]byte) ([][]byte, error) {
+					return func(in []*datamodel.Event, out [][]byte) ([][]byte, error) {
+						// One arena per call, handed off to the sink as capped
+						// subslices: a batch of payloads costs one allocation,
+						// and an arena growth leaves the already-emitted
+						// subslices pointing at complete bytes in the old
+						// backing array.
+						arena := make([]byte, 0, 192*len(in))
+						for _, e := range in {
+							slim := e.SlimViewAOD()
+							start := len(arena)
+							arena = datamodel.AppendEventPayload(arena, &slim)
+							out = append(out, arena[start:len(arena):len(arena)])
+						}
+						return out, nil
+					}
+				})
+			eventflow.SinkBatch(encS, "aod-frame", func(items [][]byte) error {
+				for _, payload := range items {
+					if err := fw.WritePayload(payload); err != nil {
 						return err
 					}
 				}
@@ -244,28 +348,16 @@ func benchPipeline(sample []*datamodel.Event, workers int) result {
 			if err := fw.Close(); err != nil {
 				b.Fatal(err)
 			}
-			if err := pw.Close(); err != nil {
-				b.Fatal(err)
-			}
-			if err := <-done; err != nil {
+			if _, err := store.PutWorkers(aod.Bytes(), workers); err != nil {
 				b.Fatal(err)
 			}
 			if i == 0 {
-				n, _ := datamodel.EncodedSize(datamodel.TierAOD, slimAll(sample))
-				outBytes = n
+				outBytes = int64(aod.Len())
 			}
 		}
 		b.SetBytes(outBytes)
 	})
 	return mkResult(fmt.Sprintf("pipeline/workers=%d", workers), r, len(sample), outBytes)
-}
-
-func slimAll(sample []*datamodel.Event) []*datamodel.Event {
-	out := make([]*datamodel.Event, len(sample))
-	for i, e := range sample {
-		out[i] = e.SlimToAOD()
-	}
-	return out
 }
 
 // encodeV3 serializes the sample with the production v3 writer.
@@ -351,6 +443,75 @@ func benchCodecDecode(sample []*datamodel.Event, name string) result {
 		}
 	})
 	return mkResult(name, r, len(sample), size)
+}
+
+// benchCodecDecodeInto measures the arena decode path: the whole sample
+// decoded into one warm Batch per op via FrameScanner + DecodeInto. After
+// the first op the batch's backing arrays have grown to working size, so
+// steady-state allocations are near zero — the ~1000 → <50 allocs/op
+// target of the zero-copy refactor.
+func benchCodecDecodeInto(sample []*datamodel.Event) result {
+	var buf bytes.Buffer
+	size, err := datamodel.WriteEvents(&buf, datamodel.TierRECO, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := buf.Bytes()
+	batch := datamodel.NewBatch(len(sample))
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			sc, err := datamodel.NewFrameScanner(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch.Reset()
+			for {
+				payload, err := sc.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := datamodel.DecodeInto(batch, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if batch.Len() != len(sample) {
+				b.Fatalf("decoded %d events, want %d", batch.Len(), len(sample))
+			}
+		}
+	})
+	return mkResult("codec/decode/v3into", r, len(sample), size)
+}
+
+// benchCASPutChunked measures the chunked parallel hash+compress path on a
+// blob comfortably above the chunking threshold, with g hashing workers.
+func benchCASPutChunked(g int) result {
+	const blobSize = 4 << 20
+	payload := make([]byte, blobSize)
+	// Deterministic mid-entropy fill: compressible enough that deflate
+	// stays in the measurement, unlike an all-zero page.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range payload {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		payload[i] = byte(x >> (uint(i) % 8 * 4))
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(blobSize)
+		for i := 0; i < b.N; i++ {
+			s := cas.NewStoreWith(cas.NewMemBackend())
+			if _, err := s.PutWorkers(payload, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return mkResult(fmt.Sprintf("cas/put/chunked/goroutines=%d", g), r, 0, blobSize)
 }
 
 // benchCASPut measures parallel ingest of distinct 16 KiB payloads with g

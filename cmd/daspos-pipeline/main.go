@@ -207,15 +207,16 @@ func (r *flowReports) all() []eventflow.Report  { return r.reports }
 // printStageReports renders one row per pipeline stage: throughput
 // accounting for the streaming substrate.
 func printStageReports(workers, batch int, reports []eventflow.Report) {
-	t := texttable.New("Pipeline", "Stage", "Workers", "In", "Out", "Batches", "Busy", "Peak batches")
+	t := texttable.New("Pipeline", "Stage", "Workers", "In", "Out", "Batches", "Busy", "Peak batches", "Recycled", "Fresh")
 	t.Title = fmt.Sprintf("Event-flow stages (-workers %d, -batch %d)", workers, batch)
-	for i := 2; i < 8; i++ {
+	for i := 2; i < 10; i++ {
 		t.SetAlign(i, texttable.Right)
 	}
 	for _, rep := range reports {
 		for _, s := range rep.Stages {
 			t.AddRow(rep.Pipeline, s.Name, s.Workers, s.EventsIn, s.EventsOut,
-				s.Batches, s.Busy.Round(10*time.Microsecond).String(), s.MaxInFlight)
+				s.Batches, s.Busy.Round(10*time.Microsecond).String(), s.MaxInFlight,
+				s.PoolHits, s.PoolMisses)
 		}
 	}
 	fmt.Println(t)
@@ -387,10 +388,14 @@ func slimStep(flow flowOptions, reports *flowReports) workflow.StepFunc {
 		}
 		p := eventflow.New(ctx.Ctx(), "aod-slim", flow.opts)
 		src := eventflow.Source(p, "reco-read", fr.Read)
-		aodS := eventflow.Map(src, "slim", flow.workers, func(e *datamodel.Event) (*datamodel.Event, bool, error) {
-			return e.SlimToAOD(), true, nil
+		// SlimViewAOD borrows the surviving collections from the RECO event
+		// instead of deep-copying them — the AOD tier is a view until the
+		// writer serializes it, and the writer is the last stop, so nothing
+		// retains the view past the batch handoff.
+		aodS := eventflow.Map(src, "slim", flow.workers, func(e *datamodel.Event) (datamodel.Event, bool, error) {
+			return e.SlimViewAOD(), true, nil
 		})
-		eventflow.Sink(aodS, "aod-write", fw.Write)
+		eventflow.Sink(aodS, "aod-write", func(e datamodel.Event) error { return fw.Write(&e) })
 		if err := p.Wait(); err != nil {
 			return err
 		}

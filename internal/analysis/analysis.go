@@ -161,6 +161,7 @@ func Analyzers() []*Analyzer {
 		ErrClass,
 		CtxProp,
 		CloseCheck,
+		CloneCheck,
 	}
 }
 

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CloneCheck enforces the batch-ownership rule of the streaming substrate:
+// the container a stage or sink closure receives is recycled — and
+// deterministically cleared — as soon as the closure returns, so keeping
+// the slice (or a subslice, or a pointer into it) in surrounding state
+// means reading poisoned memory on a later batch. Element values may be
+// copied out (that is the legal path), and events that must outlive the
+// handoff cross the boundary via Clone(); a site that deliberately retains
+// a container (a test asserting the poisoning itself, say) documents it
+// with //daspos:retain-ok.
+var CloneCheck = &Analyzer{
+	Name:     "clonecheck",
+	Doc:      "eventflow batch closures must not retain their input container; copy elements out or Clone() before the reference crosses the boundary",
+	Why:      "eventflow recycles and clears batch containers after every handoff; a retained container reference reads deterministically poisoned memory on the next batch",
+	Suppress: "retain-ok",
+	Run:      runCloneCheck,
+}
+
+// batchTakers maps the eventflow entry points that hand a closure a
+// recycled container to the argument index of that closure.
+var batchTakers = map[string]int{
+	"SinkBatch":  2, // SinkBatch(s, name, fn func([]T) error)
+	"MapBatches": 3, // MapBatches(s, name, workers, newFn func(int) func(in, out) (out, error))
+}
+
+func runCloneCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/eventflow") {
+				return true
+			}
+			argIdx, ok := batchTakers[fn.Name()]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			switch fn.Name() {
+			case "SinkBatch":
+				if lit, ok := ast.Unparen(call.Args[argIdx]).(*ast.FuncLit); ok {
+					p.checkBatchClosure(lit, false)
+				}
+			case "MapBatches":
+				// The argument is a factory; the recycled containers flow
+				// into the closures it returns.
+				factory, ok := ast.Unparen(call.Args[argIdx]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(factory.Body, func(m ast.Node) bool {
+					if inner, ok := m.(*ast.FuncLit); ok && inner != factory {
+						p.checkBatchClosure(inner, true)
+						return false
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// checkBatchClosure inspects one closure whose first parameter is a
+// recycled container. For map closures (isMap) the rule extends to the
+// return statement: the output must be the out container, never the input.
+func (p *Pass) checkBatchClosure(lit *ast.FuncLit, isMap bool) {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return
+	}
+	in := p.Info.Defs[params.List[0].Names[0]]
+	if in == nil {
+		return
+	}
+	isIn := func(id *ast.Ident) bool { return p.Info.Uses[id] == in }
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			// A nested closure over the container outlives nothing by
+			// itself; its body is still within the call unless stored,
+			// which the assignment cases below catch.
+			return true
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				if !aliasesContainer(rhs, isIn) {
+					continue
+				}
+				lhs := stmt.Lhs[0]
+				if len(stmt.Lhs) == len(stmt.Rhs) {
+					lhs = stmt.Lhs[i]
+				}
+				if root := rootIdent(lhs); root != nil && p.declaredOutside(root, lit) {
+					p.Reportf(rhs.Pos(), "batch container retained past the handoff: %s escapes into %s, which outlives the call — copy the elements (or Clone the events) instead, or //daspos:retain-ok for deliberate retention", in.Name(), root.Name)
+				}
+			}
+		case *ast.SendStmt:
+			if aliasesContainer(stmt.Value, isIn) {
+				p.Reportf(stmt.Value.Pos(), "batch container retained past the handoff: %s sent on a channel — the receiver reads recycled memory; copy the elements (or Clone the events) first, or //daspos:retain-ok", in.Name())
+			}
+		case *ast.ReturnStmt:
+			if !isMap {
+				return true
+			}
+			for _, res := range stmt.Results {
+				if aliasesContainer(res, isIn) {
+					p.Reportf(res.Pos(), "map closure returns its input container %s: the stage recycles it on return, so the downstream batch aliases cleared memory — return the out container", in.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// aliasesContainer reports whether the expression evaluates to memory
+// inside the container parameter: the container itself, a subslice of it,
+// a pointer to one of its slots, or a composite/append carrying one of
+// those. A plain element read (in[i]) is a value copy and therefore legal,
+// as is any other function call — that is where Clone() lives.
+func aliasesContainer(e ast.Expr, isIn func(*ast.Ident) bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return isIn(x)
+	case *ast.ParenExpr:
+		return aliasesContainer(x.X, isIn)
+	case *ast.SliceExpr:
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return isIn(id)
+		}
+		return aliasesContainer(x.X, isIn)
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		// &in[i]: a pointer into the container's backing array.
+		if idx, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
+			return aliasesContainer(idx.X, isIn)
+		}
+		return aliasesContainer(x.X, isIn)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if aliasesContainer(v, isIn) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// append(dst, in) or append(dst, in[a:b]) stores the container
+		// reference in dst. append(dst, in...) copies the elements and is
+		// legal, like every other call (Clone, copy helpers, ...).
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" && !x.Ellipsis.IsValid() {
+			for _, a := range x.Args[1:] {
+				if aliasesContainer(a, isIn) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// rootIdent walks to the base identifier of an assignable expression:
+// x, x.f, x[i], *x all root at x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the identifier resolves to an object
+// declared outside the closure — assigning the container there makes it
+// outlive the call.
+func (p *Pass) declaredOutside(id *ast.Ident, lit *ast.FuncLit) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil || obj.Name() == "_" {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

@@ -33,6 +33,7 @@ var CloseCheck = &Analyzer{
 			"internal/recast",
 			"internal/node",
 			"internal/cluster",
+			"internal/eventflow",
 		)(path)
 	},
 	Run: runCloseCheck,

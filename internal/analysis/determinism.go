@@ -27,6 +27,7 @@ var Determinism = &Analyzer{
 		"internal/checkpoint",
 		"internal/cas",
 		"internal/eventflow",
+		"internal/fourvec",
 	),
 	Run: runDeterminism,
 }

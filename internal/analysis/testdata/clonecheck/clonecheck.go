@@ -1,0 +1,130 @@
+// Seeded violations for the clonecheck analyzer: eventflow batch closures
+// that retain their recycled input container — the slice itself, a
+// subslice, a pointer into a slot, a channel send, a map closure returning
+// its input — next to the legal idioms (element copies, ellipsis appends,
+// Clone-style calls) and a suppressed deliberate retention, all of which
+// must stay silent.
+package flowclient
+
+import (
+	"daspos/internal/eventflow"
+)
+
+var escaped [][]int
+var holes []*int
+var grab map[string][]int
+
+func sinkStealsContainer(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "steal", func(items []int) error {
+		escaped = append(escaped, items) // want `batch container retained`
+		return nil
+	})
+}
+
+func sinkStealsSubslice(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "subslice", func(items []int) error {
+		if len(items) > 2 {
+			escaped = append(escaped, items[1:]) // want `batch container retained`
+		}
+		return nil
+	})
+}
+
+func sinkStealsSlot(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "slot", func(items []int) error {
+		if len(items) > 0 {
+			holes = append(holes, &items[0]) // want `batch container retained`
+		}
+		return nil
+	})
+}
+
+func sinkStealsViaComposite(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "composite", func(items []int) error {
+		grab = map[string][]int{"batch": items} // want `batch container retained`
+		return nil
+	})
+}
+
+func sinkSendsContainer(s *eventflow.Stream[int], ch chan []int) {
+	eventflow.SinkBatch(s, "send", func(items []int) error {
+		ch <- items // want `sent on a channel`
+		return nil
+	})
+}
+
+func mapReturnsInput(s *eventflow.Stream[int]) *eventflow.Stream[int] {
+	return eventflow.MapBatches(s, "bounce", 2, func(worker int) func([]int, []int) ([]int, error) {
+		return func(in []int, out []int) ([]int, error) {
+			return in, nil // want `returns its input container`
+		}
+	})
+}
+
+func mapStashesInput(s *eventflow.Stream[int]) *eventflow.Stream[int] {
+	return eventflow.MapBatches(s, "stash", 2, func(worker int) func([]int, []int) ([]int, error) {
+		return func(in []int, out []int) ([]int, error) {
+			escaped = append(escaped, in) // want `batch container retained`
+			return append(out, in...), nil
+		}
+	})
+}
+
+// --- legal idioms below: none of these may be reported ---
+
+func sinkCopiesOut(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "copy", func(items []int) error {
+		cp := make([]int, len(items))
+		copy(cp, items)
+		escaped = append(escaped, cp)
+		return nil
+	})
+}
+
+func sinkSpreadAppend(s *eventflow.Stream[int]) {
+	var all []int
+	eventflow.SinkBatch(s, "spread", func(items []int) error {
+		all = append(all, items...) // element copy, not a container alias
+		return nil
+	})
+	_ = all
+}
+
+func sinkElementReads(s *eventflow.Stream[int]) {
+	var last int
+	eventflow.SinkBatch(s, "element", func(items []int) error {
+		for _, v := range items {
+			last = v
+		}
+		return nil
+	})
+	_ = last
+}
+
+func sinkLocalAlias(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "local", func(items []int) error {
+		// Aliasing within the closure's own lifetime is fine: the local
+		// dies when the call returns, before the container is recycled.
+		head := items[:1]
+		_ = head
+		return nil
+	})
+}
+
+func sinkSuppressed(s *eventflow.Stream[int]) {
+	eventflow.SinkBatch(s, "poison-probe", func(items []int) error {
+		escaped = append(escaped, items) //daspos:retain-ok — probe asserting the poisoning itself
+		return nil
+	})
+}
+
+func mapBuildsOutput(s *eventflow.Stream[int]) *eventflow.Stream[int] {
+	return eventflow.MapBatches(s, "legal", 2, func(worker int) func([]int, []int) ([]int, error) {
+		return func(in []int, out []int) ([]int, error) {
+			for _, v := range in {
+				out = append(out, v*2)
+			}
+			return out, nil
+		}
+	})
+}

@@ -22,6 +22,10 @@ func TestCloseCheck(t *testing.T) {
 	runAnalyzerTest(t, CloseCheck, "closecheck", "daspos/internal/datamodel")
 }
 
+func TestCloneCheck(t *testing.T) {
+	runAnalyzerTest(t, CloneCheck, "clonecheck", "daspos/internal/skim")
+}
+
 // TestRepoIsClean pins the acceptance criterion that daspos-vet exits 0 on
 // the tree it ships with: every finding is either fixed or carries an
 // explicit suppression directive.

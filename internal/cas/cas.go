@@ -189,13 +189,11 @@ func (s *Store) storeBlob(digest string, data []byte) error {
 
 // Put stores a payload and returns its digest. Duplicate content is a
 // no-op returning the same digest — detected before any compression work
-// is spent. It is a thin wrapper over the single-pass store path.
+// is spent. Payloads at or above the chunking threshold take the chunked
+// parallel path across GOMAXPROCS workers (see PutWorkers); the stored
+// bytes do not depend on the core count.
 func (s *Store) Put(data []byte) (string, error) {
-	d := Digest(data)
-	if s.backend.HasBlob(d) {
-		return d, nil
-	}
-	return d, s.storeBlob(d, data)
+	return s.PutWorkers(data, runtime.GOMAXPROCS(0))
 }
 
 // PutReader stores a payload from a stream in a single pass: the bytes
@@ -270,28 +268,46 @@ func DecodeBlob(digest string, comp []byte) ([]byte, error) {
 		return nil, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("empty stored blob")}
 	}
 	var data []byte
-	switch comp[0] {
-	case blobRaw:
-		// Copy: backends may return their stored slice, and callers own
-		// the payload they get back.
-		data = append([]byte(nil), comp[1:]...)
-	case blobDeflate:
-		zr := flate.NewReader(bytes.NewReader(comp[1:]))
-		var derr error
-		data, derr = io.ReadAll(zr)
-		if derr != nil {
-			return nil, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
-		}
-		if cerr := zr.Close(); cerr != nil {
-			return nil, &CorruptError{Digest: digest, Expected: digest, Cause: cerr}
-		}
-	default:
-		return nil, &CorruptError{Digest: digest, Expected: digest, Cause: fmt.Errorf("unknown blob encoding 0x%02x", comp[0])}
+	var derr error
+	if comp[0] == blobChunked {
+		data, derr = decodeChunked(comp[1:])
+	} else {
+		data, derr = decodeFramed(comp)
+	}
+	if derr != nil {
+		return nil, &CorruptError{Digest: digest, Expected: digest, Cause: derr}
 	}
 	if actual := Digest(data); actual != digest {
 		return nil, &CorruptError{Digest: digest, Expected: digest, Actual: actual}
 	}
 	return data, nil
+}
+
+// decodeFramed decodes a flat (raw or deflate) marker-framed blob without
+// any fixity check — the shared inner decode for DecodeBlob and for each
+// chunk of the chunked form.
+func decodeFramed(comp []byte) ([]byte, error) {
+	if len(comp) == 0 {
+		return nil, fmt.Errorf("empty stored blob")
+	}
+	switch comp[0] {
+	case blobRaw:
+		// Copy: backends may return their stored slice, and callers own
+		// the payload they get back.
+		return append([]byte(nil), comp[1:]...), nil
+	case blobDeflate:
+		zr := flate.NewReader(bytes.NewReader(comp[1:]))
+		data, derr := io.ReadAll(zr)
+		if derr != nil {
+			return nil, derr
+		}
+		if cerr := zr.Close(); cerr != nil {
+			return nil, cerr
+		}
+		return data, nil
+	default:
+		return nil, fmt.Errorf("unknown blob encoding 0x%02x", comp[0])
+	}
 }
 
 // decodeVerified decodes the marker-framed blob and fixity-checks one

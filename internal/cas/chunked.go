@@ -1,0 +1,206 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Chunked stored form. Large payloads dominate archive ingest time because
+// SHA-256 and deflate are both single-threaded over one []byte; chunking
+// splits the blob at fixed byte offsets so hashing and compression fan out
+// across cores while the stored bytes stay a pure function of the payload —
+// no worker count, scheduling order, or machine shape leaks into the
+// archive (the determinism rule every stored tier obeys).
+//
+// Layout after the marker byte:
+//
+//	uvarint logicalSize            // total payload bytes
+//	uvarint chunkSize              // split width used at encode time
+//	uvarint nChunks
+//	nChunks × {
+//	    32-byte chunk SHA-256      // over the chunk's logical bytes
+//	    uvarint encLen
+//	    encLen bytes               // the chunk, marker-framed like a small blob
+//	}
+//
+// The blob's address is unchanged: still the SHA-256 of the whole logical
+// payload, so deduplication, the wire protocol, and every existing digest
+// in provenance records are untouched. The per-chunk digest list is a
+// bonus fixity feature — a corrupt chunk is localized without rehashing
+// the rest of the blob.
+const (
+	blobChunked byte = 2
+
+	// chunkPayloadSize is the fixed split width. 64 KiB keeps per-chunk
+	// deflate windows effective (the format's window is 32 KiB) while
+	// giving a 1 MiB blob 16-way hash parallelism.
+	chunkPayloadSize = 64 << 10
+
+	// chunkThreshold is the payload size at which Put switches to the
+	// chunked form: below it the fan-out overhead exceeds the win.
+	chunkThreshold = 256 << 10
+)
+
+// PutWorkers stores a payload like Put, hashing and compressing large
+// payloads across the given number of workers (minimum 1). Payloads under
+// the chunking threshold take the ordinary single-pass path. The stored
+// bytes are identical for every worker count.
+func (s *Store) PutWorkers(data []byte, workers int) (string, error) {
+	d := Digest(data)
+	if s.backend.HasBlob(d) {
+		return d, nil
+	}
+	if len(data) < chunkThreshold {
+		return d, s.storeBlob(d, data)
+	}
+	blob, err := encodeChunked(data, workers)
+	if err != nil {
+		return "", err
+	}
+	if err := s.backend.PutBlob(d, blob, int64(len(data))); err != nil {
+		return "", fmt.Errorf("cas: storing %s: %w", d, err)
+	}
+	return d, nil
+}
+
+// encodeChunked produces the chunked stored form, fanning the per-chunk
+// SHA-256 + deflate work across workers. Chunk boundaries are fixed byte
+// offsets and assembly is in index order, so the output is deterministic.
+func encodeChunked(data []byte, workers int) ([]byte, error) {
+	n := len(data)
+	nChunks := (n + chunkPayloadSize - 1) / chunkPayloadSize
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+
+	type encChunk struct {
+		sum  [sha256.Size]byte
+		blob []byte
+	}
+	encs := make([]encChunk, nChunks)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     = make(chan int)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lo := i * chunkPayloadSize
+				hi := min(lo+chunkPayloadSize, n)
+				chunk := data[lo:hi]
+				encs[i].sum = sha256.Sum256(chunk)
+				buf, err := encodeBlob(chunk)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				encs[i].blob = append([]byte(nil), buf.Bytes()...)
+				blobBufPool.Put(buf)
+			}
+		}()
+	}
+	for i := 0; i < nChunks; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	size := 1 + 3*binary.MaxVarintLen64
+	for i := range encs {
+		size += sha256.Size + binary.MaxVarintLen64 + len(encs[i].blob)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, blobChunked)
+	out = binary.AppendUvarint(out, uint64(n))
+	out = binary.AppendUvarint(out, uint64(chunkPayloadSize))
+	out = binary.AppendUvarint(out, uint64(nChunks))
+	for i := range encs {
+		out = append(out, encs[i].sum[:]...)
+		out = binary.AppendUvarint(out, uint64(len(encs[i].blob)))
+		out = append(out, encs[i].blob...)
+	}
+	return out, nil
+}
+
+// decodeChunked reassembles a chunked stored body (the bytes after the
+// marker), verifying each chunk against its recorded digest. The caller
+// (DecodeBlob) still fixity-checks the reassembled payload against the
+// logical address, so a forged-but-consistent chunk list cannot spoof a
+// blob.
+func decodeChunked(body []byte) ([]byte, error) {
+	rd := bytes.NewReader(body)
+	logical, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("chunked header: %w", err)
+	}
+	cs, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("chunked header: %w", err)
+	}
+	nChunks, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("chunked header: %w", err)
+	}
+	if cs == 0 || nChunks == 0 || logical > uint64(len(body))*64+uint64(cs)*nChunks {
+		return nil, fmt.Errorf("chunked header implausible: logical=%d chunkSize=%d chunks=%d", logical, cs, nChunks)
+	}
+	if want := (logical + cs - 1) / cs; want != nChunks {
+		return nil, fmt.Errorf("chunked header inconsistent: %d bytes in %d-byte chunks needs %d chunks, header says %d",
+			logical, cs, want, nChunks)
+	}
+
+	payload := make([]byte, 0, logical)
+	var sum [sha256.Size]byte
+	for i := uint64(0); i < nChunks; i++ {
+		pos := len(body) - rd.Len()
+		if rd.Len() < sha256.Size {
+			return nil, fmt.Errorf("chunk %d: truncated digest", i)
+		}
+		copy(sum[:], body[pos:pos+sha256.Size])
+		rd.Seek(int64(sha256.Size), 1)
+		encLen, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: length: %w", i, err)
+		}
+		pos = len(body) - rd.Len()
+		if uint64(rd.Len()) < encLen {
+			return nil, fmt.Errorf("chunk %d: truncated body (%d of %d bytes)", i, rd.Len(), encLen)
+		}
+		enc := body[pos : pos+int(encLen)]
+		rd.Seek(int64(encLen), 1)
+
+		chunk, err := decodeFramed(enc)
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w", i, err)
+		}
+		if got := sha256.Sum256(chunk); got != sum {
+			return nil, fmt.Errorf("chunk %d: content hashes to %x, recorded %x", i, got, sum)
+		}
+		payload = append(payload, chunk...)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("chunked blob has %d trailing bytes", rd.Len())
+	}
+	if uint64(len(payload)) != logical {
+		return nil, fmt.Errorf("chunked blob reassembles to %d bytes, header says %d", len(payload), logical)
+	}
+	return payload, nil
+}

@@ -1,0 +1,446 @@
+package datamodel
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"daspos/internal/xrand"
+)
+
+// framesOf serializes events and returns the raw v3 payload per event plus
+// the full stream bytes.
+func framesOf(t testing.TB, events []*Event) ([][]byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteEvents(&buf, events[0].Tier, events); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewFrameScanner(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames [][]byte
+	for {
+		p, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, p)
+	}
+	return frames, buf.Bytes()
+}
+
+// TestDecodeIntoMatchesDecode is the core equality contract: the arena
+// decoder must produce events deeply equal to the allocating decoder from
+// the same payloads, across randomized shapes including empty collections
+// and multi-key Aux maps — and again after a Reset, when it is reusing
+// storage from the previous generation.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	rng := xrand.New(314159)
+	b := NewBatch(8)
+	for trial := 0; trial < 40; trial++ {
+		var events []*Event
+		for i := 0; i < 1+rng.Intn(7); i++ {
+			events = append(events, randomEvent(rng, uint64(i)))
+		}
+		events[0].Tier = TierRECO
+		for _, e := range events {
+			e.Tier = TierRECO
+		}
+		frames, _ := framesOf(t, events)
+		b.Reset()
+		for i, p := range frames {
+			want, err := decodeEventV3(p)
+			if err != nil {
+				t.Fatalf("trial %d: plain decode: %v", trial, err)
+			}
+			if err := DecodeInto(b, p); err != nil {
+				t.Fatalf("trial %d: DecodeInto: %v", trial, err)
+			}
+			if got := b.At(i); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d event %d: arena decode diverged\n got %+v\nwant %+v", trial, i, got, want)
+			}
+		}
+		if b.Len() != len(frames) {
+			t.Fatalf("trial %d: batch length %d, want %d", trial, b.Len(), len(frames))
+		}
+		// The equality must still hold after every append settled: growth
+		// during later events must not have detached earlier ones.
+		for i, p := range frames {
+			want, _ := decodeEventV3(p)
+			if got := b.At(i); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d event %d: diverged after later growth", trial, i)
+			}
+		}
+	}
+}
+
+// TestBatchGrowthRefixup drives the backing arrays through many capacity
+// doublings and then checks both directions of the aliasing contract:
+// every event still reads back its own data, and each event's slices alias
+// the arena (three-index capped at the span, so an append through an
+// escaped slice cannot clobber a neighbour).
+func TestBatchGrowthRefixup(t *testing.T) {
+	rng := xrand.New(60221)
+	var events []*Event
+	for i := 0; i < 200; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierRECO
+		events = append(events, e)
+	}
+	b := NewBatch(1) // force event-array growth too
+	for _, e := range events {
+		b.Append(e)
+	}
+	for i, want := range events {
+		got := b.At(i)
+		if !reflect.DeepEqual(got.Tracks, want.Tracks) || !reflect.DeepEqual(got.Candidates, want.Candidates) {
+			t.Fatalf("event %d detached from its data after growth", i)
+		}
+		if len(got.Tracks) > 0 {
+			sp := b.spans[i].trk
+			if &got.Tracks[0] != &b.tracks[sp.off] {
+				t.Fatalf("event %d tracks do not alias the arena", i)
+			}
+			if cap(got.Tracks) != len(got.Tracks) {
+				t.Fatalf("event %d tracks not capped at span: cap %d len %d", i, cap(got.Tracks), len(got.Tracks))
+			}
+		}
+	}
+}
+
+// TestDecodeIntoRollback feeds a corrupt payload mid-batch and checks the
+// arena rolls back to a consistent state: length unchanged, prior events
+// intact, and the batch still usable afterwards.
+func TestDecodeIntoRollback(t *testing.T) {
+	rng := xrand.New(1618)
+	var events []*Event
+	for i := 0; i < 4; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierRECO
+		events = append(events, e)
+	}
+	frames, _ := framesOf(t, events)
+	b := NewBatch(4)
+	for _, p := range frames[:2] {
+		if err := DecodeInto(b, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := DecodeInto(b, frames[2][:len(frames[2])/2]); err == nil {
+		t.Fatal("truncated payload decoded cleanly")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("rollback left %d events, want 2", b.Len())
+	}
+	for i := 0; i < 2; i++ {
+		want, _ := decodeEventV3(frames[i])
+		if !reflect.DeepEqual(b.At(i), want) {
+			t.Fatalf("event %d damaged by rollback", i)
+		}
+	}
+	if err := DecodeInto(b, frames[2]); err != nil {
+		t.Fatalf("batch unusable after rollback: %v", err)
+	}
+	want, _ := decodeEventV3(frames[2])
+	if !reflect.DeepEqual(b.At(2), want) {
+		t.Fatal("post-rollback decode diverged")
+	}
+}
+
+// TestBatchCloneEscapesArena verifies the ownership escape hatch: a Clone
+// survives the arena being reset and overwritten.
+func TestBatchCloneEscapesArena(t *testing.T) {
+	rng := xrand.New(2718)
+	e := randomEvent(rng, 7)
+	e.Tier = TierRECO
+	for len(e.Tracks) == 0 {
+		e = randomEvent(rng, 7)
+		e.Tier = TierRECO
+	}
+	b := NewBatch(1)
+	b.Append(e)
+	cl := b.Clone(0)
+	b.Reset()
+	other := randomEvent(rng, 8)
+	other.Tier = TierRECO
+	b.Append(other)
+	if !reflect.DeepEqual(cl, e.Clone()) {
+		t.Fatal("clone was damaged by arena reuse")
+	}
+}
+
+// TestDecodeIntoSteadyStateAllocs pins the tentpole number: decoding into
+// a warm batch allocates nothing for Aux-free events (the RECO/AOD hot
+// path), versus ~5 allocations per event for the plain decoder.
+func TestDecodeIntoSteadyStateAllocs(t *testing.T) {
+	rng := xrand.New(42)
+	var events []*Event
+	for i := 0; i < 16; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierRECO
+		e.Aux = nil
+		events = append(events, e)
+	}
+	frames, _ := framesOf(t, events)
+	b := NewBatch(len(frames))
+	decodeAll := func() {
+		b.Reset()
+		for _, p := range frames {
+			if err := DecodeInto(b, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decodeAll() // warm the arena
+	if allocs := testing.AllocsPerRun(50, decodeAll); allocs > 0 {
+		t.Fatalf("warm DecodeInto allocated %.1f per batch of %d events, want 0", allocs, len(frames))
+	}
+}
+
+// TestReadIntoBothGenerations checks FileReader.ReadInto against ReadAll
+// on a v3 stream and on a legacy v2 gob stream (where it falls back to a
+// deep copy), including the truncation contract.
+func TestReadIntoBothGenerations(t *testing.T) {
+	rng := xrand.New(1729)
+	var events []*Event
+	for i := 0; i < 6; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierRECO
+		events = append(events, e)
+	}
+
+	var v3buf bytes.Buffer
+	if _, err := WriteEvents(&v3buf, TierRECO, events); err != nil {
+		t.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if err := writeV2Events(&v2buf, TierRECO, events); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, stream := range map[string][]byte{"v3": v3buf.Bytes(), "v2": v2buf.Bytes()} {
+		fr, err := NewFileReader(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBatch(8)
+		for {
+			err := fr.ReadInto(b)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if b.Len() != len(events) {
+			t.Fatalf("%s: read %d events, want %d", name, b.Len(), len(events))
+		}
+		for i := range events {
+			if !reflect.DeepEqual(b.At(i), events[i]) {
+				t.Fatalf("%s: event %d diverged", name, i)
+			}
+		}
+	}
+
+	// Truncation must surface io.ErrUnexpectedEOF, exactly like Read.
+	cut := v3buf.Bytes()[:v3buf.Len()-3]
+	fr, err := NewFileReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(8)
+	for {
+		err = fr.ReadInto(b)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated ReadInto: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestFrameScannerMatchesReader walks the same stream via FrameScanner +
+// plain decode and via FileReader, asserting identical events, and checks
+// the scanner's trailer/truncation handling.
+func TestFrameScannerMatchesReader(t *testing.T) {
+	rng := xrand.New(8128)
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierAOD
+		events = append(events, e)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteEvents(&buf, TierAOD, events); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := NewFrameScanner(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tier() != TierAOD {
+		t.Fatalf("scanner tier %v", sc.Tier())
+	}
+	var got []*Event
+	for {
+		p, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := decodeEventV3(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatal("scanner walk diverged from writer input")
+	}
+	if sc.Count() != len(events) {
+		t.Fatalf("scanner count %d, want %d", sc.Count(), len(events))
+	}
+
+	// Cut before the trailer: must be io.ErrUnexpectedEOF, not clean EOF.
+	sc2, err := NewFrameScanner(buf.Bytes()[:buf.Len()-2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err = sc2.Next()
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated scan: got %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// A v2 stream is not scannable.
+	var v2buf bytes.Buffer
+	if err := writeV2Events(&v2buf, TierAOD, events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFrameScanner(v2buf.Bytes()); err == nil {
+		t.Fatal("scanner accepted a v2 stream")
+	}
+}
+
+// TestSlimViewAODEncodesLikeSlimToAOD pins the zero-copy slim stage: the
+// borrowed view must serialize to exactly the bytes of the deep copy.
+func TestSlimViewAODEncodesLikeSlimToAOD(t *testing.T) {
+	rng := xrand.New(5050)
+	for i := 0; i < 30; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierRECO
+		view := e.SlimViewAOD()
+		deep := e.SlimToAOD()
+		vb := appendEventV3(nil, &view)
+		db := appendEventV3(nil, deep)
+		if !bytes.Equal(vb, db) {
+			t.Fatalf("event %d: view bytes differ from deep-copy bytes", i)
+		}
+	}
+}
+
+// FuzzDecodeIntoMatchesDecode cross-checks the two decoders on arbitrary
+// bytes: they must agree on accept/reject, and on acceptance produce
+// deeply equal events — including when the batch is warm with recycled
+// storage.
+func FuzzDecodeIntoMatchesDecode(f *testing.F) {
+	rng := xrand.New(97)
+	var events []*Event
+	for i := 0; i < 3; i++ {
+		e := randomEvent(rng, uint64(i))
+		e.Tier = TierRECO
+		events = append(events, e)
+	}
+	for _, e := range events {
+		f.Add(appendEventV3(nil, e))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x05, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	warmPayload := appendEventV3(nil, events[0])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBatch(2)
+		// Warm the arena first so the fuzz also exercises storage reuse.
+		if err := DecodeInto(b, warmPayload); err != nil {
+			t.Fatal(err)
+		}
+		b.Reset()
+		want, wantErr := decodeEventV3(data)
+		gotErr := DecodeInto(b, data)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("decoders disagree: plain=%v arena=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if b.Len() != 0 {
+				t.Fatalf("failed decode left %d events in batch", b.Len())
+			}
+			return
+		}
+		if !reflect.DeepEqual(b.At(0), want) {
+			t.Fatalf("arena decode diverged from plain decode")
+		}
+	})
+}
+
+// TestWritePayloadMatchesWrite: the parallel-encode path (AppendEventPayload
+// on workers + WritePayload framing) produces a byte-identical file to the
+// ordinary Write path, so a pipeline can switch freely between them.
+func TestWritePayloadMatchesWrite(t *testing.T) {
+	rng := xrand.New(71)
+	events := make([]*Event, 30)
+	for i := range events {
+		events[i] = randomEvent(rng, uint64(i))
+	}
+
+	var direct bytes.Buffer
+	fw, err := NewFileWriter(&direct, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := fw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var framed bytes.Buffer
+	fw2, err := NewFileWriter(&framed, TierRECO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch []byte
+	for _, e := range events {
+		scratch = AppendEventPayload(scratch[:0], e)
+		if err := fw2.WritePayload(scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(direct.Bytes(), framed.Bytes()) {
+		t.Fatal("WritePayload stream differs from Write stream")
+	}
+	if fw2.Count() != len(events) {
+		t.Fatalf("WritePayload count %d, want %d", fw2.Count(), len(events))
+	}
+}

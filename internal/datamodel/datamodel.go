@@ -252,6 +252,21 @@ func (e *Event) SlimToAOD() *Event {
 	return out
 }
 
+// SlimViewAOD returns a shallow AOD view of the event: candidates, MET and
+// aux are borrowed from the receiver, not copied. The view encodes to
+// exactly the bytes SlimToAOD's deep copy would, without allocating — the
+// slim stage of the hot path serializes the view and drops it. The view
+// must not outlive the receiver's owner (a batch arena, typically); Clone
+// it if it must escape.
+func (e *Event) SlimViewAOD() Event {
+	return Event{
+		Run: e.Run, Number: e.Number, Tier: TierAOD, ProcessID: e.ProcessID,
+		Candidates: e.Candidates,
+		Missing:    e.Missing,
+		Aux:        e.Aux,
+	}
+}
+
 // Clone returns a deep copy of the event at the same tier.
 func (e *Event) Clone() *Event {
 	out := *e

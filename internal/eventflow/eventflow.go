@@ -155,16 +155,70 @@ func (p *Pipeline) spawn(fn func() error) {
 
 // batch is one sequence-tagged unit of flow. Stages preserve seq (empty
 // batches still travel) so a downstream reorderer can restore stream order
-// by counting.
+// by counting. The box pointer, when set, is the sync.Pool token of the
+// items container: it travels with the batch so the consumer can return
+// the drained container upstream without boxing a slice header (which
+// would itself allocate on every Put).
 type batch[T any] struct {
 	seq   int
 	items []T
+	box   *[]T
 }
 
-// Stream is a typed, ordered flow of batches out of one node.
+// slicePool recycles batch item containers between a producing stage and
+// whoever drains its stream. Ownership handoff, not copying: the producer
+// gets a container, fills it, and sends it downstream; the consumer drains
+// it and puts it back. put clears the container's full capacity before
+// pooling it — that releases pointers for the GC, and it deterministically
+// poisons any reference a stage illegally retained past the handoff, so
+// the ownership rule ("a stage that retains data must Clone") fails loudly
+// in tests instead of corrupting silently.
+type slicePool[T any] struct {
+	pool sync.Pool
+	st   *stageStats
+}
+
+// get returns an empty container, recycled when the pool has one (a hit)
+// and freshly allocated otherwise (a miss). The returned box is the pool
+// token to hand back with the container.
+func (sp *slicePool[T]) get(capacity int) ([]T, *[]T) {
+	if v, ok := sp.pool.Get().(*[]T); ok {
+		sp.st.poolHits.Add(1)
+		return (*v)[:0], v
+	}
+	sp.st.poolMisses.Add(1)
+	items := make([]T, 0, capacity)
+	return items, &items
+}
+
+// put clears and pools a drained container.
+func (sp *slicePool[T]) put(items []T, box *[]T) {
+	if box == nil {
+		return
+	}
+	full := items[:cap(items)]
+	clear(full)
+	*box = full[:0]
+	sp.pool.Put(box)
+}
+
+// Stream is a typed, ordered flow of batches out of one node. The pool is
+// owned by the producing stage; the stream's single consumer returns
+// drained containers through it.
 type Stream[T any] struct {
-	p  *Pipeline
-	ch chan batch[T]
+	p    *Pipeline
+	ch   chan batch[T]
+	pool *slicePool[T]
+}
+
+// recycle returns a drained batch's container to the producing stage's
+// pool. Callers must be done with the container (though not necessarily
+// with the elements it held — those were copied out or carry their own
+// ownership).
+func (s *Stream[T]) recycle(b batch[T]) {
+	if s.pool != nil {
+		s.pool.put(b.items, b.box)
+	}
 }
 
 // Source starts the pipeline's producer: next is called repeatedly on a
@@ -172,16 +226,17 @@ type Stream[T any] struct {
 // io.EOF ends the stream cleanly; any other error aborts the pipeline.
 func Source[T any](p *Pipeline, name string, next func() (T, error)) *Stream[T] {
 	st := p.addStage(name, 1)
+	pool := &slicePool[T]{st: st}
 	out := make(chan batch[T], p.depth)
 	p.spawn(func() error {
 		defer close(out)
 		seq := 0
-		items := make([]T, 0, p.batchSize)
+		items, box := pool.get(p.batchSize)
 		flush := func() bool {
 			if len(items) == 0 {
 				return true
 			}
-			b := batch[T]{seq: seq, items: items}
+			b := batch[T]{seq: seq, items: items, box: box}
 			seq++
 			st.batches.Add(1)
 			st.eventsOut.Add(int64(len(items)))
@@ -190,7 +245,7 @@ func Source[T any](p *Pipeline, name string, next func() (T, error)) *Stream[T] 
 			case <-p.ctx.Done():
 				return false
 			}
-			items = make([]T, 0, p.batchSize)
+			items, box = pool.get(p.batchSize)
 			return true
 		}
 		for {
@@ -215,7 +270,7 @@ func Source[T any](p *Pipeline, name string, next func() (T, error)) *Stream[T] 
 			}
 		}
 	})
-	return &Stream[T]{p: p, ch: out}
+	return &Stream[T]{p: p, ch: out, pool: pool}
 }
 
 // Map adds a stage applying fn to every event with the given number of
@@ -233,29 +288,60 @@ func Map[In, Out any](s *Stream[In], name string, workers int, fn func(In) (Out,
 // worker and each returned function is only ever called from that worker's
 // goroutine.
 func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func(worker int) func(In) (Out, bool, error)) *Stream[Out] {
+	return MapBatches(s, name, workers, func(worker int) func([]In, []Out) ([]Out, error) {
+		fn := newFn(worker)
+		return func(in []In, out []Out) ([]Out, error) {
+			for _, v := range in {
+				o, keep, err := fn(v)
+				if err != nil {
+					return out, err
+				}
+				if keep {
+					out = append(out, o)
+				}
+			}
+			return out, nil
+		}
+	})
+}
+
+// MapBatches is the batch-granularity stage underneath Map and MapWorkers,
+// exposed for transforms that want to amortize work across a whole batch —
+// a decoder filling one arena per batch, an encoder sharing one scratch
+// buffer. newFn is invoked once per worker; the returned function receives
+// the input items and an empty output container (recycled, with whatever
+// capacity its previous trip accumulated) and returns the filled container.
+//
+// Ownership: the stage owns `in` only for the duration of the call — the
+// container is recycled and cleared as soon as the function returns, so
+// retaining `in` (or any sub-slice of it) is illegal and shows up as
+// zeroed data. Elements may be carried over into `out` freely (values are
+// copied; pointed-to data keeps its own ownership — a function that
+// retains pointed-to data beyond its stage must Clone it). The function
+// must return `out` (possibly grown), never `in` itself.
+func MapBatches[In, Out any](s *Stream[In], name string, workers int, newFn func(worker int) func(in []In, out []Out) ([]Out, error)) *Stream[Out] {
 	p := s.p
 	if workers < 1 {
 		workers = 1
 	}
 	st := p.addStage(name, workers)
+	pool := &slicePool[Out]{st: st}
 
-	apply := func(fn func(In) (Out, bool, error), b batch[In]) (batch[Out], error) {
+	apply := func(fn func([]In, []Out) ([]Out, error), b batch[In]) (batch[Out], error) {
 		start := time.Now() //daspos:wallclock-ok — per-stage busy metric only
-		ob := batch[Out]{seq: b.seq, items: make([]Out, 0, len(b.items))}
-		for _, v := range b.items {
-			o, keep, err := fn(v)
-			if err != nil {
-				st.busy.Add(int64(time.Since(start))) //daspos:wallclock-ok
-				return batch[Out]{}, fmt.Errorf("eventflow: stage %s: %w", name, err)
-			}
-			if keep {
-				ob.items = append(ob.items, o)
-			}
-		}
+		items, box := pool.get(len(b.items))
+		outItems, err := fn(b.items, items)
 		st.busy.Add(int64(time.Since(start))) //daspos:wallclock-ok
+		if err != nil {
+			pool.put(outItems, box)
+			return batch[Out]{}, fmt.Errorf("eventflow: stage %s: %w", name, err)
+		}
+		ob := batch[Out]{seq: b.seq, items: outItems, box: box}
 		st.batches.Add(1)
 		st.eventsIn.Add(int64(len(b.items)))
-		st.eventsOut.Add(int64(len(ob.items)))
+		st.eventsOut.Add(int64(len(outItems)))
+		// The input container is drained: hand it back upstream.
+		s.recycle(b)
 		return ob, nil
 	}
 
@@ -264,7 +350,7 @@ func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func
 	// per-worker state) and the batch re-applied under its original
 	// sequence tag, so the retry is invisible to downstream ordering. The
 	// restart budget is stage-wide; exhausting it surfaces the error.
-	supervised := func(worker int, fn *func(In) (Out, bool, error), b batch[In]) (batch[Out], error) {
+	supervised := func(worker int, fn *func([]In, []Out) ([]Out, error), b batch[In]) (batch[Out], error) {
 		for {
 			ob, err := apply(*fn, b)
 			if err == nil {
@@ -295,7 +381,7 @@ func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func
 			}
 			return nil
 		})
-		return &Stream[Out]{p: p, ch: out}
+		return &Stream[Out]{p: p, ch: out, pool: pool}
 	}
 
 	// Parallel stage: dispatcher → worker pool → reorderer. The token
@@ -354,16 +440,21 @@ func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func
 
 	p.spawn(func() error { // reorderer
 		defer close(out)
-		pending := make(map[int]batch[Out], bound)
+		// Completed batches wait in a ring indexed by sequence number.
+		// The token bound guarantees every outstanding seq lies in
+		// [next, next+bound), so slots never collide — and unlike a map,
+		// the ring is two fixed allocations for the stage's lifetime,
+		// which is what keeps the merge's cost flat as workers grow.
+		ring := make([]batch[Out], bound)
+		full := make([]bool, bound)
 		next := 0
 		for ob := range results {
-			pending[ob.seq] = ob
-			for {
-				b, ok := pending[next]
-				if !ok {
-					break
-				}
-				delete(pending, next)
+			slot := ob.seq % bound
+			ring[slot], full[slot] = ob, true
+			for full[next%bound] {
+				i := next % bound
+				b := ring[i]
+				ring[i], full[i] = batch[Out]{}, false
 				next++
 				select {
 				case out <- b:
@@ -378,7 +469,7 @@ func MapWorkers[In, Out any](s *Stream[In], name string, workers int, newFn func
 		}
 		return nil
 	})
-	return &Stream[Out]{p: p, ch: out}
+	return &Stream[Out]{p: p, ch: out, pool: pool}
 }
 
 // Sink terminates the stream: fn is called for every event, in stream
@@ -412,6 +503,11 @@ func SinkBatch[T any](s *Stream[T], name string, fn func([]T) error) {
 			}
 			st.batches.Add(1)
 			st.eventsIn.Add(int64(len(b.items)))
+			// The sink consumed the batch: its container goes back upstream.
+			// A sink that retained the slice (rather than copying items out)
+			// violates the ownership rule and will observe cleared data —
+			// deliberately, and deterministically.
+			s.recycle(b)
 		}
 		return nil
 	})

@@ -22,6 +22,15 @@ type stageStats struct {
 	maxInFlight atomic.Int64
 
 	restarts atomic.Int64
+
+	// poolHits/poolMisses meter the stage's container recycler: a hit is a
+	// batch served from a drained container returned upstream, a miss is a
+	// fresh allocation. Steady state should be all hits — misses after
+	// warm-up mean containers are leaking out of the loop (a stage
+	// retaining what it should have cloned, or a consumer dropping batches
+	// on a cancellation path).
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
 }
 
 // tryRestart claims one worker restart from the stage's budget, reporting
@@ -82,6 +91,13 @@ type StageReport struct {
 	// Restarts counts supervised worker restarts after transient batch
 	// failures (Options.StageRetries).
 	Restarts int64
+	// PoolHits and PoolMisses meter the stage's batch-container recycler:
+	// hits are containers reused from the drained-batch pool, misses are
+	// fresh allocations. After warm-up (the first MaxInFlight batches are
+	// misses by construction) the stream should run on hits alone; misses
+	// growing with event count mean containers are escaping the loop.
+	PoolHits   int64
+	PoolMisses int64
 }
 
 // Report is the whole pipeline's execution summary.
@@ -113,6 +129,8 @@ func (p *Pipeline) Report() Report {
 			Busy:        time.Duration(st.busy.Load()),
 			MaxInFlight: st.maxInFlight.Load(),
 			Restarts:    st.restarts.Load(),
+			PoolHits:    st.poolHits.Load(),
+			PoolMisses:  st.poolMisses.Load(),
 		})
 	}
 	return r
@@ -123,9 +141,10 @@ func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pipeline %s: wall %v\n", r.Pipeline, r.Wall.Round(time.Microsecond))
 	for _, s := range r.Stages {
-		fmt.Fprintf(&b, "  %-14s workers=%d in=%d out=%d batches=%d busy=%v maxInFlight=%d restarts=%d\n",
+		fmt.Fprintf(&b, "  %-14s workers=%d in=%d out=%d batches=%d busy=%v maxInFlight=%d restarts=%d recycle=%d/%d\n",
 			s.Name, s.Workers, s.EventsIn, s.EventsOut, s.Batches,
-			s.Busy.Round(time.Microsecond), s.MaxInFlight, s.Restarts)
+			s.Busy.Round(time.Microsecond), s.MaxInFlight, s.Restarts,
+			s.PoolHits, s.PoolMisses)
 	}
 	return b.String()
 }

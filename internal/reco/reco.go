@@ -73,6 +73,12 @@ func DefaultConfig() Config {
 }
 
 // Reconstructor converts raw events into RECO-tier events.
+//
+// A Reconstructor is single-goroutine state: the event-flow substrate
+// creates one per worker (ParallelStage), which is what makes the scratch
+// arenas below safe. Everything in scratch is reused across events, so a
+// warm reconstructor stops allocating for unpacking, bookkeeping, and the
+// kinematics columns of its inner loops.
 type Reconstructor struct {
 	det *detector.Detector
 	cfg Config
@@ -82,6 +88,25 @@ type Reconstructor struct {
 	// touched accumulates the conditions folders resolved by the last
 	// Reconstruct call.
 	touched []string
+
+	// Per-event scratch, reused across Reconstruct calls. Nothing here may
+	// escape into the output event — outputs are freshly built (or the
+	// caller's arena's problem), scratch is this instance's.
+	scrTrackerHits []hit
+	scrMuonHits    []hit
+	scrCells       []cell
+	scrByLayer     map[int][]*hit
+	scrZs          []float64
+	scrIdx         []int
+	scrUsedTrack   []bool
+	scrUsedCluster []bool
+	scrTaken       []bool
+	scrRemaining   []int
+
+	// Columnar kinematics for the pair loops: track momenta and cluster
+	// vectors with pt/η/φ derived once per event instead of once per pair.
+	trackKin   fourvec.Slab
+	clusterKin fourvec.Slab
 }
 
 // New returns a reconstructor over the given geometry with the default
@@ -173,8 +198,8 @@ func (r *Reconstructor) Reconstruct(raw *rawdata.Event, cond Source) (*datamodel
 
 	out := &datamodel.Event{Run: raw.Run, Number: raw.Number, Tier: datamodel.TierRECO}
 
-	trackerHits := r.unpackHits(raw.Bank(rawdata.PartTracker))
-	muonHits := r.unpackHits(raw.Bank(rawdata.PartMuon))
+	trackerHits := r.unpackHits(&r.scrTrackerHits, raw.Bank(rawdata.PartTracker))
+	muonHits := r.unpackHits(&r.scrMuonHits, raw.Bank(rawdata.PartMuon))
 	cells := r.unpackCells(raw, ecalScale["scale"], hcalScale["scale"])
 
 	out.Tracks = r.findTracks(trackerHits)
@@ -194,12 +219,14 @@ func (r *Reconstructor) payload(cond Source, folder string) (conditions.Payload,
 	return p, nil
 }
 
-// unpackHits converts bank words to positioned hits via the channel grid.
-func (r *Reconstructor) unpackHits(bank *rawdata.Bank) []hit {
+// unpackHits converts bank words to positioned hits via the channel grid,
+// filling the given per-instance scratch slice.
+func (r *Reconstructor) unpackHits(scratch *[]hit, bank *rawdata.Bank) []hit {
 	if bank == nil {
 		return nil
 	}
-	hits := make([]hit, 0, len(bank.Words))
+	hits := (*scratch)[:0]
+	defer func() { *scratch = hits }()
 	for _, w := range bank.Words {
 		li := w.Channel.Layer()
 		if li < 0 || li >= len(r.det.Layers) {
@@ -222,7 +249,8 @@ func (r *Reconstructor) unpackCells(raw *rawdata.Event, ecalScale, hcalScale flo
 	if hcalScale <= 0 {
 		hcalScale = 1
 	}
-	var out []cell
+	out := r.scrCells[:0]
+	defer func() { r.scrCells = out }()
 	unpack := func(bank *rawdata.Bank, em bool, scale float64) {
 		if bank == nil {
 			return
@@ -260,7 +288,13 @@ func (r *Reconstructor) findTracks(hits []hit) []datamodel.Track {
 	if len(trackerLayers) < 3 {
 		return nil
 	}
-	byLayer := make(map[int][]*hit)
+	if r.scrByLayer == nil {
+		r.scrByLayer = make(map[int][]*hit)
+	}
+	byLayer := r.scrByLayer
+	for k := range byLayer {
+		byLayer[k] = byLayer[k][:0]
+	}
 	for i := range hits {
 		byLayer[hits[i].layer] = append(byLayer[hits[i].layer], &hits[i])
 	}
@@ -415,10 +449,11 @@ func (r *Reconstructor) findVertices(tracks []datamodel.Track) []datamodel.Verte
 	if len(tracks) == 0 {
 		return nil
 	}
-	zs := make([]float64, 0, len(tracks))
+	zs := r.scrZs[:0]
 	for _, t := range tracks {
 		zs = append(zs, t.Z0)
 	}
+	r.scrZs = zs
 	sort.Float64s(zs)
 	var vertices []datamodel.VertexFit
 	i := 0
@@ -448,7 +483,7 @@ func (r *Reconstructor) findVertices(tracks []datamodel.Track) []datamodel.Verte
 
 // cluster groups calorimeter cells around local maxima.
 func (r *Reconstructor) cluster(cells []cell) []datamodel.Cluster {
-	idx := make([]int, len(cells))
+	idx := growInts(&r.scrIdx, len(cells))
 	for i := range idx {
 		idx[i] = i
 	}
@@ -486,26 +521,52 @@ func (r *Reconstructor) cluster(cells []cell) []datamodel.Cluster {
 // buildCandidates refines tracks and clusters into candidate physics
 // objects: muons (track + muon-system match), electrons (track + EM
 // cluster with E/p near 1), photons (unmatched EM cluster), and cone jets.
+//
+// The pair loops here — isolation cones, track-cluster matching, jet
+// cones — run on columnar kinematics: the track momenta and cluster
+// vectors are loaded into fourvec.Slabs and their pt/η/φ derived once per
+// event, so the O(n²) comparisons read cached columns instead of
+// recomputing four transcendentals per pair. The slab columns are
+// produced by exactly the Vec methods the scalar loops called, so every
+// cone decision (and therefore every output bit) is unchanged.
 func (r *Reconstructor) buildCandidates(out *datamodel.Event, muonHits []hit) {
-	usedTrack := make([]bool, len(out.Tracks))
-	usedCluster := make([]bool, len(out.Clusters))
+	usedTrack := growBools(&r.scrUsedTrack, len(out.Tracks))
+	usedCluster := growBools(&r.scrUsedCluster, len(out.Clusters))
+
+	tk := &r.trackKin
+	tk.Reset()
+	for i := range out.Tracks {
+		tk.Append(out.Tracks[i].P)
+	}
+	tk.Derive()
+
+	// Cluster vectors, shared by the electron/photon matching and the jet
+	// cones: both sections previously rebuilt PtEtaPhiE per pair visit.
+	ck := &r.clusterKin
+	ck.Reset()
+	for i := range out.Clusters {
+		c := &out.Clusters[i]
+		ck.Append(fourvec.PtEtaPhiE(c.E/math.Cosh(c.Eta), c.Eta, c.Phi, c.E))
+	}
+	ck.Derive()
 
 	// Muons: extrapolate each track's helix to the chamber radius and
 	// demand a hit near the predicted crossing.
 	for ti, t := range out.Tracks {
-		if t.P.Pt() < 3 {
+		if tk.Pt(ti) < 3 {
 			continue
 		}
-		rho := t.P.Pt() / (0.3 * r.det.BField) * 1000 // mm
+		rho := tk.Pt(ti) / (0.3 * r.det.BField) * 1000 // mm
+		trkPhi, trkEta := tk.Phi(ti), tk.Eta(ti)
 		matched := false
 		for _, mh := range muonHits {
 			arg := mh.r / (2 * rho)
 			if arg >= 1 {
 				continue // track curls up before the chambers
 			}
-			predPhi := t.P.Phi() - t.Charge*math.Asin(arg)
+			predPhi := trkPhi - t.Charge*math.Asin(arg)
 			if math.Abs(wrapPhi(mh.phi-predPhi)) < 0.05 &&
-				math.Abs(mh.z-(t.Z0+mh.r*math.Sinh(t.P.Eta()))) < 500 {
+				math.Abs(mh.z-(t.Z0+mh.r*math.Sinh(trkEta))) < 500 {
 				matched = true
 				break
 			}
@@ -516,9 +577,9 @@ func (r *Reconstructor) buildCandidates(out *datamodel.Event, muonHits []hit) {
 		usedTrack[ti] = true
 		out.Candidates = append(out.Candidates, datamodel.Candidate{
 			Type:   datamodel.ObjMuon,
-			P:      fourvec.PtEtaPhiM(t.P.Pt(), t.P.Eta(), t.P.Phi(), 0.10566),
+			P:      fourvec.PtEtaPhiM(tk.Pt(ti), trkEta, trkPhi, 0.10566),
 			Charge: t.Charge, Quality: qualityFromChi2(t.Chi2),
-			Isolation: r.trackIsolation(out.Tracks, ti),
+			Isolation: r.trackIsolation(tk, ti),
 		})
 	}
 
@@ -527,14 +588,15 @@ func (r *Reconstructor) buildCandidates(out *datamodel.Event, muonHits []hit) {
 		if !c.EM || c.E < 2 {
 			continue
 		}
-		cv := fourvec.PtEtaPhiE(c.E/math.Cosh(c.Eta), c.Eta, c.Phi, c.E)
+		cv := ck.At(ci)
+		cEta, cPhi := ck.Eta(ci), ck.Phi(ci)
 		bestTrack := -1
 		bestDR := 0.1
-		for ti, t := range out.Tracks {
-			if usedTrack[ti] || t.P.Pt() < 2 {
+		for ti := range out.Tracks {
+			if usedTrack[ti] || tk.Pt(ti) < 2 {
 				continue
 			}
-			if dr := fourvec.DeltaR(t.P, cv); dr < bestDR {
+			if dr := fourvec.DeltaREtaPhi(tk.Eta(ti), tk.Phi(ti), cEta, cPhi); dr < bestDR {
 				bestDR, bestTrack = dr, ti
 			}
 		}
@@ -547,7 +609,7 @@ func (r *Reconstructor) buildCandidates(out *datamodel.Event, muonHits []hit) {
 				out.Candidates = append(out.Candidates, datamodel.Candidate{
 					Type: datamodel.ObjElectron, P: cv, Charge: t.Charge,
 					Quality:   qualityFromChi2(t.Chi2),
-					Isolation: r.trackIsolation(out.Tracks, bestTrack),
+					Isolation: r.trackIsolation(tk, bestTrack),
 				})
 				continue
 			}
@@ -560,42 +622,38 @@ func (r *Reconstructor) buildCandidates(out *datamodel.Event, muonHits []hit) {
 		}
 	}
 
-	// Jets: greedy cones over remaining clusters.
-	type protoJet struct {
-		p fourvec.Vec
-	}
-	remaining := make([]int, 0, len(out.Clusters))
+	// Jets: greedy cones over remaining clusters, on the cached cluster
+	// columns.
+	remaining := r.scrRemaining[:0]
 	for ci := range out.Clusters {
 		if !usedCluster[ci] {
 			remaining = append(remaining, ci)
 		}
 	}
+	r.scrRemaining = remaining
 	sort.Slice(remaining, func(a, b int) bool {
 		return out.Clusters[remaining[a]].E > out.Clusters[remaining[b]].E
 	})
-	taken := make(map[int]bool)
+	taken := growBools(&r.scrTaken, len(out.Clusters))
 	for _, seedIdx := range remaining {
 		if taken[seedIdx] {
 			continue
 		}
-		seed := out.Clusters[seedIdx]
-		seedV := fourvec.PtEtaPhiE(seed.E/math.Cosh(seed.Eta), seed.Eta, seed.Phi, seed.E)
-		jet := protoJet{p: seedV}
+		jetP := ck.At(seedIdx)
+		seedEta, seedPhi := ck.Eta(seedIdx), ck.Phi(seedIdx)
 		taken[seedIdx] = true
 		for _, ci := range remaining {
 			if taken[ci] {
 				continue
 			}
-			c := out.Clusters[ci]
-			cv := fourvec.PtEtaPhiE(c.E/math.Cosh(c.Eta), c.Eta, c.Phi, c.E)
-			if fourvec.DeltaR(seedV, cv) < r.cfg.JetConeR {
-				jet.p = jet.p.Add(cv)
+			if fourvec.DeltaREtaPhi(seedEta, seedPhi, ck.Eta(ci), ck.Phi(ci)) < r.cfg.JetConeR {
+				jetP = jetP.Add(ck.At(ci))
 				taken[ci] = true
 			}
 		}
-		if jet.p.Pt() >= r.cfg.JetMinPt {
+		if jetP.Pt() >= r.cfg.JetMinPt {
 			out.Candidates = append(out.Candidates, datamodel.Candidate{
-				Type: datamodel.ObjJet, P: jet.p, Quality: 0.8,
+				Type: datamodel.ObjJet, P: jetP, Quality: 0.8,
 			})
 		}
 	}
@@ -626,18 +684,40 @@ func (r *Reconstructor) computeMET(out *datamodel.Event, cells []cell) {
 	}
 }
 
-// trackIsolation sums the pT of other tracks in a ΔR<0.3 cone.
-func (r *Reconstructor) trackIsolation(tracks []datamodel.Track, self int) float64 {
+// trackIsolation sums the pT of other tracks in a ΔR<0.3 cone, reading
+// the derived slab columns — the loop that used to dominate candidate
+// building with four transcendentals per track pair.
+func (r *Reconstructor) trackIsolation(kin *fourvec.Slab, self int) float64 {
 	var iso float64
-	for i, t := range tracks {
+	for i, n := 0, kin.Len(); i < n; i++ {
 		if i == self {
 			continue
 		}
-		if fourvec.DeltaR(t.P, tracks[self].P) < 0.3 {
-			iso += t.P.Pt()
+		if kin.DeltaR(i, self) < 0.3 {
+			iso += kin.Pt(i)
 		}
 	}
 	return iso
+}
+
+// growInts resizes an int scratch slice to n, reusing capacity.
+func growInts(scr *[]int, n int) []int {
+	if cap(*scr) < n {
+		*scr = make([]int, n)
+	}
+	*scr = (*scr)[:n]
+	return *scr
+}
+
+// growBools resizes a bool scratch slice to n and clears it.
+func growBools(scr *[]bool, n int) []bool {
+	if cap(*scr) < n {
+		*scr = make([]bool, n)
+	}
+	s := (*scr)[:n]
+	clear(s)
+	*scr = s
+	return s
 }
 
 func qualityFromChi2(chi2 float64) float64 {

@@ -115,35 +115,53 @@ func (s *FullSim) simulate(ev *hepmc.Event, rng *xrand.Rand) *Event {
 	return out
 }
 
+// partKin caches one particle's derived kinematics for the layer loops:
+// helix propagation needs pT, φ, pz, and the production radius at every
+// layer it crosses, and each is loop-invariant — computing the
+// transcendentals once per particle instead of once per layer is the
+// columnar discipline applied to the simulation's inner loop. Every field
+// is computed by exactly the expression the per-layer code used, so the
+// trajectory (and every smeared hit drawn from it) is bit-identical.
+type partKin struct {
+	pt, phi, pz float64
+	prodR, z0   float64
+}
+
+func kinOf(p fourvec.Vec, prod hepmc.Vertex) partKin {
+	return partKin{
+		pt: p.Pt(), phi: p.Phi(), pz: p.Pz,
+		prodR: math.Hypot(prod.X, prod.Y), z0: prod.Z,
+	}
+}
+
 // traceParticle propagates one particle and records its hits and deposits.
 func (s *FullSim) traceParticle(rng *xrand.Rand, out *Event, p hepmc.Particle, prod hepmc.Vertex) {
 	absEta := math.Abs(p.P.Eta())
 	charge := units.Charge(p.PDG)
-	prodR := math.Hypot(prod.X, prod.Y)
+	kin := kinOf(p.P, prod)
 
-	if charge != 0 && absEta < s.det.EtaMax && p.P.Pt() > 0.1 {
+	if charge != 0 && absEta < s.det.EtaMax && kin.pt > 0.1 {
 		for _, li := range s.det.TrackerLayers() {
-			s.hitLayer(rng, out, li, p, prod, prodR, charge, false)
+			s.hitLayer(rng, out, li, p, kin, charge, false)
 		}
 	}
-	s.depositCalo(rng, out, p, prod, charge)
-	if abs(p.PDG) == units.PDGMuon && absEta < s.det.EtaMax && p.P.Pt() > 2 {
+	s.depositCalo(rng, out, p, kin, charge)
+	if abs(p.PDG) == units.PDGMuon && absEta < s.det.EtaMax && kin.pt > 2 {
 		for _, li := range s.det.LayersOf(detector.KindMuon) {
-			s.hitLayer(rng, out, li, p, prod, prodR, charge, true)
+			s.hitLayer(rng, out, li, p, kin, charge, true)
 		}
 	}
 }
 
 // helixAt returns the azimuth and z of a charged particle's trajectory at
-// cylindrical radius r, starting from (x0,y0,z0). The second return is
+// cylindrical radius r, from its cached kinematics. The second return is
 // false when the particle cannot reach the radius (curls up first, or was
 // produced outside it).
-func (s *FullSim) helixAt(p fourvec.Vec, charge, x0, y0, z0, r float64) (phi, z float64, ok bool) {
-	prodR := math.Hypot(x0, y0)
-	if prodR >= r {
+func (s *FullSim) helixAt(kin partKin, charge, r float64) (phi, z float64, ok bool) {
+	if kin.prodR >= r {
 		return 0, 0, false
 	}
-	pt := p.Pt()
+	pt := kin.pt
 	if pt <= 0 {
 		return 0, 0, false
 	}
@@ -151,7 +169,7 @@ func (s *FullSim) helixAt(p fourvec.Vec, charge, x0, y0, z0, r float64) (phi, z 
 	rho := pt / (0.3 * s.det.BField) * 1000
 	// Transverse chord from origin offset is small (beamspot ~ 0), so use
 	// the chord from the production point approximated by radius r-prodR.
-	chord := r - prodR
+	chord := r - kin.prodR
 	arg := chord / (2 * rho)
 	if arg >= 1 {
 		// Low-pT looper: never reaches this layer.
@@ -159,20 +177,20 @@ func (s *FullSim) helixAt(p fourvec.Vec, charge, x0, y0, z0, r float64) (phi, z 
 	}
 	bend := math.Asin(arg)
 	// Positive charge in +z field bends towards -phi.
-	phi = p.Phi() - charge*bend
+	phi = kin.phi - charge*bend
 	// Arc length in the transverse plane, then z advance along the helix.
 	arc := 2 * rho * bend
-	z = z0 + arc*p.Pz/pt
+	z = kin.z0 + arc*kin.pz/pt
 	return phi, z, true
 }
 
-func (s *FullSim) hitLayer(rng *xrand.Rand, out *Event, li int, p hepmc.Particle, prod hepmc.Vertex, prodR, charge float64, muon bool) {
+func (s *FullSim) hitLayer(rng *xrand.Rand, out *Event, li int, p hepmc.Particle, kin partKin, charge float64, muon bool) {
 	l := s.det.Layer(li)
-	if prodR >= l.Radius {
+	if kin.prodR >= l.Radius {
 		// Produced beyond this layer (displaced V0/D decay): no hit.
 		return
 	}
-	phi, z, ok := s.helixAt(p.P, charge, prod.X, prod.Y, prod.Z, l.Radius)
+	phi, z, ok := s.helixAt(kin, charge, l.Radius)
 	if !ok || !rng.Bool(l.Efficiency) {
 		return
 	}
@@ -199,7 +217,7 @@ func (s *FullSim) hitLayer(rng *xrand.Rand, out *Event, li int, p hepmc.Particle
 
 // depositCalo deposits the particle's energy into the calorimeters with
 // species-appropriate resolution and sharing.
-func (s *FullSim) depositCalo(rng *xrand.Rand, out *Event, p hepmc.Particle, prod hepmc.Vertex, charge float64) {
+func (s *FullSim) depositCalo(rng *xrand.Rand, out *Event, p hepmc.Particle, kin partKin, charge float64) {
 	e := p.P.E
 	if e <= 0.1 {
 		return
@@ -219,8 +237,8 @@ func (s *FullSim) depositCalo(rng *xrand.Rand, out *Event, p hepmc.Particle, pro
 	case abs(p.PDG) == units.PDGMuon:
 		// MIP: a muon leaves ~2 GeV through the full calorimeter depth.
 		mip := math.Min(2.0, e*0.5)
-		s.depositAt(out, ecal, ecalIdx[0], p, prod, charge, mip*0.3, true)
-		s.depositAt(out, hcal, hcalIdx[0], p, prod, charge, mip*0.7, false)
+		s.depositAt(out, ecal, ecalIdx[0], kin, charge, mip*0.3, true)
+		s.depositAt(out, hcal, hcalIdx[0], kin, charge, mip*0.7, false)
 		return
 	default:
 		// Hadrons: a fluctuating EM fraction and stochastic resolution.
@@ -232,29 +250,28 @@ func (s *FullSim) depositCalo(rng *xrand.Rand, out *Event, p hepmc.Particle, pro
 		return
 	}
 	if emFrac >= 1 {
-		s.depositAt(out, ecal, ecalIdx[0], p, prod, charge, smeared, true)
+		s.depositAt(out, ecal, ecalIdx[0], kin, charge, smeared, true)
 		return
 	}
-	s.depositAt(out, ecal, ecalIdx[0], p, prod, charge, smeared*emFrac, true)
-	s.depositAt(out, hcal, hcalIdx[0], p, prod, charge, smeared*(1-emFrac), false)
+	s.depositAt(out, ecal, ecalIdx[0], kin, charge, smeared*emFrac, true)
+	s.depositAt(out, hcal, hcalIdx[0], kin, charge, smeared*(1-emFrac), false)
 }
 
-func (s *FullSim) depositAt(out *Event, l *detector.Layer, li int, p hepmc.Particle, prod hepmc.Vertex, charge, energy float64, em bool) {
+func (s *FullSim) depositAt(out *Event, l *detector.Layer, li int, kin partKin, charge, energy float64, em bool) {
 	var phi, z float64
 	if charge != 0 {
 		var ok bool
-		phi, z, ok = s.helixAt(p.P, charge, prod.X, prod.Y, prod.Z, l.Radius)
+		phi, z, ok = s.helixAt(kin, charge, l.Radius)
 		if !ok {
 			return
 		}
 	} else {
-		phi = p.P.Phi()
+		phi = kin.phi
 		// Straight-line z at the calo radius.
-		pt := p.P.Pt()
-		if pt <= 0 {
+		if kin.pt <= 0 {
 			return
 		}
-		z = prod.Z + l.Radius*p.P.Pz/pt
+		z = kin.z0 + l.Radius*kin.pz/kin.pt
 	}
 	iphi, iz, ok := l.CellOf(phi, z)
 	if !ok {

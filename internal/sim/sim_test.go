@@ -103,8 +103,9 @@ func TestHelixBendDirection(t *testing.T) {
 	det := detector.Standard()
 	fs := NewFullSim(det, 5)
 	p := fourvec.PtEtaPhiM(10, 0, 0, 0.14)
-	phiPlus, _, ok1 := fs.helixAt(p, +1, 0, 0, 0, 500)
-	phiMinus, _, ok2 := fs.helixAt(p, -1, 0, 0, 0, 500)
+	kin := kinOf(p, hepmc.Vertex{})
+	phiPlus, _, ok1 := fs.helixAt(kin, +1, 500)
+	phiMinus, _, ok2 := fs.helixAt(kin, -1, 500)
 	if !ok1 || !ok2 {
 		t.Fatal("10 GeV track did not reach 500mm")
 	}
@@ -121,10 +122,10 @@ func TestHelixLowPtLooper(t *testing.T) {
 	fs := NewFullSim(det, 6)
 	// pT = 0.2 GeV: rho = 0.2/(0.3*3.8)*1000 ≈ 175mm, max reach 2ρ=350mm.
 	p := fourvec.PtEtaPhiM(0.2, 0, 0, 0.14)
-	if _, _, ok := fs.helixAt(p, 1, 0, 0, 0, 1290); ok {
+	if _, _, ok := fs.helixAt(kinOf(p, hepmc.Vertex{}), 1, 1290); ok {
 		t.Fatal("looper reported reaching the ECal")
 	}
-	if _, _, ok := fs.helixAt(p, 1, 0, 0, 0, 102); !ok {
+	if _, _, ok := fs.helixAt(kinOf(p, hepmc.Vertex{}), 1, 102); !ok {
 		t.Fatal("0.2 GeV track failed to reach pix3")
 	}
 }
@@ -133,7 +134,7 @@ func TestHelixHighPtNearlyStraight(t *testing.T) {
 	det := detector.Standard()
 	fs := NewFullSim(det, 7)
 	p := fourvec.PtEtaPhiM(500, 0.3, 1.0, 0)
-	phi, z, ok := fs.helixAt(p, 1, 0, 0, 0, 1290)
+	phi, z, ok := fs.helixAt(kinOf(p, hepmc.Vertex{}), 1, 1290)
 	if !ok {
 		t.Fatal("500 GeV track did not reach ECal")
 	}

@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # bench.sh — run the performance harness and write BENCH_pipeline.json and
 # BENCH_cluster.json at the repo root. Pass -short for the CI smoke
-# variant (small sample, fewer worker counts); any other arguments are
-# forwarded to daspos-bench. The harness refuses a multi-worker sweep at
-# GOMAXPROCS=1 (the scaling curve would be fiction); pass
-# -allow-single-cpu to override on a one-core box.
+# variant (small sample, fewer worker counts) and -gate to enforce the
+# allocs/op and scaling acceptance thresholds (CI does); any other
+# arguments are forwarded to daspos-bench. The harness refuses a
+# multi-worker sweep at GOMAXPROCS=1 (the scaling curve would be fiction);
+# pass -allow-single-cpu to override on a one-core box.
 set -eu
 cd "$(dirname "$0")/.."
 
