@@ -8,6 +8,7 @@ package daspos
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -280,7 +281,7 @@ func BenchmarkRivetVsRecast(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m := model
 			m.Seed = uint64(i)
-			if _, err := backend.Process(m, record); err != nil {
+			if _, err := backend.Process(context.Background(), m, record); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -290,7 +291,7 @@ func BenchmarkRivetVsRecast(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m := model
 			m.Seed = uint64(i)
-			if _, err := backend.Process(m, record); err != nil {
+			if _, err := backend.Process(context.Background(), m, record); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -344,11 +345,11 @@ func BenchmarkRecastRivetBridge(b *testing.B) {
 	light := &bridge.RivetBackend{LuminosityPb: 20000}
 	var agr bridge.Agreement
 	for i := 0; i < b.N; i++ {
-		fr, err := full.Process(model, record)
+		fr, err := full.Process(context.Background(), model, record)
 		if err != nil {
 			b.Fatal(err)
 		}
-		lr, err := light.Process(model, record)
+		lr, err := light.Process(context.Background(), model, record)
 		if err != nil {
 			b.Fatal(err)
 		}

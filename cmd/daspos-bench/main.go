@@ -2,7 +2,9 @@
 // the serialize→digest→store pipeline, the v3 event codec against the gob
 // baseline, and parallel CAS ingest — at fixed seeds, and writes the
 // results as BENCH_pipeline.json so successive changes leave a recorded
-// performance trajectory instead of anecdotes.
+// performance trajectory instead of anecdotes. Two further sections get
+// their own reports: the multi-node cluster (BENCH_cluster.json) and the
+// multi-tenant RECAST overload harness (BENCH_recast.json).
 //
 // Every measurement runs under testing.Benchmark, so ns/op, allocs/op and
 // B/op come from the standard harness. The event sample is produced once
@@ -12,7 +14,8 @@
 // Usage:
 //
 //	daspos-bench [-events N] [-seed S] [-workers 1,2,4,8]
-//	             [-out BENCH_pipeline.json] [-short]
+//	             [-out BENCH_pipeline.json] [-cluster-out BENCH_cluster.json]
+//	             [-recast-out BENCH_recast.json] [-recast-requests N] [-short]
 package main
 
 import (
@@ -71,6 +74,8 @@ func main() {
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the pipeline benchmark")
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "multi-node benchmark output JSON path (empty disables the section)")
+	recastOut := flag.String("recast-out", "BENCH_recast.json", "RECAST overload benchmark output JSON path (empty disables the section)")
+	recastRequests := flag.Int("recast-requests", 2000, "mixed-tenant submissions in the RECAST overload section")
 	short := flag.Bool("short", false, "smoke mode: small sample, fewer worker counts")
 	stamp := flag.Int64("stamp", 0, "generated_unix stamp recorded in the report; 0 keeps the report byte-stable across identical runs (pass $(date +%s) to record the real time)")
 	allowSingleCPU := flag.Bool("allow-single-cpu", false, "permit a multi-worker sweep at GOMAXPROCS=1 (numbers will not show scaling)")
@@ -154,6 +159,12 @@ func main() {
 
 	if *clusterOut != "" {
 		if err := runClusterBench(*clusterOut, *short, *stamp); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *recastOut != "" {
+		if err := runRecastBench(*recastOut, *recastRequests, *short, *stamp); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,279 @@
+package main
+
+// The RECAST overload section: the multi-tenant server under a mixed
+// arrival schedule — one flooding tenant, three polite ones — through a
+// slow back end, measured end to end through the HTTP front door. Results
+// go to BENCH_recast.json: per-tenant submit→terminal latency percentiles,
+// shed counts, and dedup hits, so the overload-safety properties leave a
+// recorded trajectory the same way the codec and cluster numbers do.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"daspos/internal/bridge"
+	"daspos/internal/datamodel"
+	"daspos/internal/faults"
+	"daspos/internal/leshouches"
+	"daspos/internal/recast"
+)
+
+// recastTenantStats is one tenant's row in the report.
+type recastTenantStats struct {
+	Submitted int     `json:"submitted"`
+	Admitted  int     `json:"admitted"`
+	Shed      int     `json:"shed"`
+	Done      int     `json:"done"`
+	DedupHits int     `json:"dedup_hits"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// recastReport is the BENCH_recast.json document.
+type recastReport struct {
+	GoVersion  string                       `json:"go_version"`
+	GOMAXPROCS int                          `json:"gomaxprocs"`
+	Requests   int                          `json:"requests"`
+	Workers    int                          `json:"workers"`
+	TenantRate float64                      `json:"tenant_rate"`
+	Short      bool                         `json:"short"`
+	Unix       int64                        `json:"generated_unix"`
+	DurationMs float64                      `json:"duration_ms"`
+	Admitted   uint64                       `json:"admitted"`
+	Shed       uint64                       `json:"shed"`
+	Served     uint64                       `json:"served"`
+	DedupHits  uint64                       `json:"dedup_hits"`
+	Expired    uint64                       `json:"expired"`
+	Failed     uint64                       `json:"failed"`
+	Tenants    map[string]recastTenantStats `json:"tenants"`
+}
+
+// recastBenchRecord is a compact dimuon search for the load harness —
+// the same shape the daspos-recast CLI subscribes, kept small so the
+// back-end cost is the slow-backend latency model, not event generation.
+func recastBenchRecord() *leshouches.AnalysisRecord {
+	return &leshouches.AnalysisRecord{
+		Name:        "BENCH_DIMUON",
+		Description: "Dimuon selection for the overload bench",
+		Objects: []leshouches.ObjectDefinition{
+			{Name: "mu", Type: datamodel.ObjMuon, MinPt: 30, MaxAbsEta: 2.4},
+		},
+		Selection: []leshouches.Cut{
+			{Variable: "count:mu", Op: ">=", Value: 2},
+		},
+		Background:     4.2,
+		ObservedEvents: 5,
+	}
+}
+
+// runRecastBench drives the overload harness and writes its report.
+func runRecastBench(out string, requests int, short bool, stamp int64) error {
+	const workers = 4
+	const tenantRate = 100 // admissions/s per tenant; the flood exceeds it
+	events := 20
+	if short {
+		if requests > 300 {
+			requests = 300
+		}
+		events = 10
+	}
+	// Half the traffic floods from one tenant in tight 2ms bursts
+	// (~2000/s against the 100/s limit — most of it sheds); the rest is
+	// three polite tenants under their rate, one of them resubmitting
+	// every 4th model to exercise the archive-answer path.
+	polite := requests / 6
+	flood := requests - 3*polite
+	shapes := []faults.TenantShape{
+		{Tenant: "flood", Requests: flood, MeanGap: 2 * time.Millisecond, Burst: 4},
+		{Tenant: "alice", Requests: polite, MeanGap: 20 * time.Millisecond, DedupEvery: 4},
+		{Tenant: "bob", Requests: polite, MeanGap: 20 * time.Millisecond},
+		{Tenant: "carol", Requests: polite, MeanGap: 25 * time.Millisecond, Burst: 2},
+	}
+	sched := faults.MixedTenantSchedule(17, shapes)
+
+	inj := faults.NewInjector(99).WithLatencyRange(time.Millisecond, 6*time.Millisecond)
+	backend := &faults.SlowBackend[recast.ModelSpec, *recast.Result]{Inner: &bridge.RivetBackend{LuminosityPb: 20000}, Inj: inj}
+	svc := recast.NewService(backend)
+	if err := svc.Subscribe(recast.Subscription{
+		Name:        "BENCH_DIMUON",
+		Description: "overload bench",
+		Record:      recastBenchRecord(),
+	}); err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "daspos-bench-recast-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := recast.NewServer(context.Background(), svc, recast.ServerConfig{
+		JournalDir:  dir,
+		Workers:     workers,
+		QueueBound:  256,
+		TenantRate:  tenantRate,
+		TenantBurst: 16,
+		AutoApprove: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Start()
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	log.Printf("recast section: %d requests, 4 tenants (flood %d), %d workers, rate %g/s",
+		len(sched), flood, workers, float64(tenantRate))
+
+	// One goroutine per tenant replays its slice of the arrival timeline
+	// through the real client, then polls each admitted request to its
+	// terminal state.
+	byTenant := map[string][]faults.Arrival{}
+	for _, a := range sched {
+		byTenant[a.Tenant] = append(byTenant[a.Tenant], a)
+	}
+	var (
+		mu    sync.Mutex
+		stats = map[string]*recastTenantStats{}
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for tenant, arrivals := range byTenant {
+		wg.Add(1)
+		go func(tenant string, arrivals []faults.Arrival) {
+			defer wg.Done()
+			c := &recast.Client{BaseURL: hts.URL}
+			st := &recastTenantStats{}
+			var (
+				stMu sync.Mutex
+				lats []float64
+				poll sync.WaitGroup
+			)
+			for _, a := range arrivals {
+				if d := a.At - time.Since(start); d > 0 {
+					time.Sleep(d)
+				}
+				st.Submitted++
+				model := recast.ModelSpec{
+					Process: "zprime", MassGeV: 800, Events: events, Seed: a.ModelSeed,
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				t0 := time.Now()
+				req, err := c.SubmitCtx(ctx, "BENCH_DIMUON", tenant, "", model)
+				cancel()
+				if err != nil {
+					var herr *recast.HTTPError
+					if errors.As(err, &herr) && herr.Status == 429 {
+						st.Shed++
+						continue
+					}
+					log.Printf("recast bench: %s submit: %v", tenant, err)
+					continue
+				}
+				st.Admitted++
+				// Poll to the terminal state concurrently, so queue wait is
+				// measured without stalling the arrival schedule.
+				poll.Add(1)
+				go func(id string, t0 time.Time) {
+					defer poll.Done()
+					for {
+						req, err := svc.Get(id)
+						if err != nil {
+							log.Printf("recast bench: %s poll: %v", tenant, err)
+							return
+						}
+						if req.Status != recast.StatusDone && req.Status != recast.StatusFailed {
+							time.Sleep(2 * time.Millisecond)
+							continue
+						}
+						stMu.Lock()
+						if req.Status == recast.StatusDone {
+							st.Done++
+							lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+						}
+						if req.DedupOf != "" {
+							st.DedupHits++
+						}
+						stMu.Unlock()
+						return
+					}
+				}(req.ID, t0)
+			}
+			poll.Wait()
+			st.P50Ms, st.P95Ms, st.P99Ms = percentile(lats, 50), percentile(lats, 95), percentile(lats, 99)
+			mu.Lock()
+			stats[tenant] = st
+			mu.Unlock()
+		}(tenant, arrivals)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	status := srv.Status()
+	rep := recastReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Requests:   len(sched),
+		Workers:    workers,
+		TenantRate: tenantRate,
+		Short:      short,
+		Unix:       stamp,
+		DurationMs: float64(elapsed.Microseconds()) / 1000,
+		Admitted:   status.Admitted,
+		Shed:       status.Shed,
+		Served:     status.Served,
+		DedupHits:  status.DedupHits,
+		Expired:    status.Expired,
+		Failed:     status.Failed,
+		Tenants:    map[string]recastTenantStats{},
+	}
+	for tenant, st := range stats {
+		rep.Tenants[tenant] = *st
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, tenant := range []string{"flood", "alice", "bob", "carol"} {
+		st, ok := rep.Tenants[tenant]
+		if !ok {
+			continue
+		}
+		log.Printf("%-8s submitted %4d  admitted %4d  shed %4d  dedup %3d  p50 %7.1fms  p99 %7.1fms",
+			tenant, st.Submitted, st.Admitted, st.Shed, st.DedupHits, st.P50Ms, st.P99Ms)
+	}
+	log.Printf("served %d of %d admitted in %.1fs (%d shed, %d dedup hits)",
+		rep.Served, rep.Admitted, elapsed.Seconds(), rep.Shed, rep.DedupHits)
+	log.Printf("wrote %s", out)
+	return nil
+}
+
+// percentile reports the p-th percentile of ms latencies (nearest-rank).
+func percentile(lats []float64, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

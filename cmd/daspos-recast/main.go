@@ -4,21 +4,31 @@
 // Usage:
 //
 //	daspos-recast serve [-addr :8080] [-backend fullsim|bridge]
+//	                    [-journal-dir DIR] [-workers N] [-queue-bound N]
+//	                    [-degraded-bound N] [-tenant-rate R] [-tenant-burst B]
+//	                    [-auto-approve=false]
 //	daspos-recast demo  [-backend fullsim|bridge] [-mass M] [-events N]
 //	daspos-recast scan  [-backend ...] [-from M0 -to M1 -step dM] [-xsec PB]
 //
-// serve starts the HTTP front end with the high-mass dimuon search
-// subscribed; demo submits a Z′ request against it in-process, walks the
-// approval workflow, and prints the result; scan walks the mass plane and
-// prints the limit table with exclusion verdicts.
+// serve starts the overload-safe multi-tenant front end with the high-mass
+// dimuon search subscribed: submissions are rate-limited per tenant, queued
+// in a crash-safe fair queue under -journal-dir, and processed by -workers
+// back-end workers; GET /status reports queue depth, breaker state, and
+// per-tenant counters. demo submits a Z′ request against an in-process
+// service, walks the approval workflow, and prints the result; scan walks
+// the mass plane and prints the limit table with exclusion verdicts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"daspos/internal/bridge"
 	"daspos/internal/conditions"
@@ -115,10 +125,49 @@ func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	backendName := fs.String("backend", "fullsim", "processing back end (fullsim or bridge)")
+	journalDir := fs.String("journal-dir", "recast-data", "directory for the request and queue journals (crash recovery)")
+	workers := fs.Int("workers", 2, "back-end worker pool size")
+	queueBound := fs.Int("queue-bound", 64, "queued entries before new submissions shed with 429")
+	degradedBound := fs.Int("degraded-bound", 0, "intake bound while the back end browns out (0 = queue-bound/4)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant sustained admissions per second (0 = unlimited)")
+	tenantBurst := fs.Float64("tenant-burst", 8, "per-tenant burst allowance above the sustained rate")
+	autoApprove := fs.Bool("auto-approve", true, "queue work at submission without the experiment's manual sign-off")
 	_ = fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	svc := newService(*backendName)
-	log.Printf("RECAST front end on %s (backend %s)", *addr, *backendName)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	srv, err := recast.NewServer(ctx, svc, recast.ServerConfig{
+		JournalDir:    *journalDir,
+		Workers:       *workers,
+		QueueBound:    *queueBound,
+		DegradedBound: *degradedBound,
+		TenantRate:    *tenantRate,
+		TenantBurst:   *tenantBurst,
+		AutoApprove:   *autoApprove,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(sctx)
+	}()
+	log.Printf("RECAST front end on %s (backend %s, %d workers, journal %s)",
+		*addr, *backendName, *workers, *journalDir)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	// Drain the worker pool and close the journals; accepted-but-unrun
+	// work replays from the queue journal on the next start.
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func demo(args []string) {

@@ -180,7 +180,7 @@ func TestRecastOverHTTPWithBridgeBackend(t *testing.T) {
 	}
 
 	full := &recast.FullSimBackend{Det: d.det, CondDB: d.db, Tag: "e2e-v1", Run: 1, LuminosityPb: 20000}
-	fullRes, err := full.Process(model, dimuonSearchRecord())
+	fullRes, err := full.Process(context.Background(), model, dimuonSearchRecord())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@ var Determinism = &Analyzer{
 		"internal/cas",
 		"internal/eventflow",
 		"internal/fourvec",
+		"internal/recast",
 	),
 	Run: runDeterminism,
 }

@@ -20,6 +20,7 @@ var Durability = &Analyzer{
 	Match: matchPath(
 		"internal/checkpoint",
 		"internal/cas",
+		"internal/recast",
 	),
 	Run: runDurability,
 }

@@ -15,6 +15,7 @@
 package bridge
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,9 +51,17 @@ func (b *RivetBackend) LastValidation() []byte {
 	return append([]byte(nil), b.lastValidation...)
 }
 
+// ConfigDigest implements recast.ConfigDigester: the light tier's output
+// is determined by the model plus luminosity and the validation set.
+func (b *RivetBackend) ConfigDigest() string {
+	return fmt.Sprintf("rivet-bridge|lumi=%x|val=%v",
+		math.Float64bits(b.LuminosityPb), b.ValidationAnalyses)
+}
+
 // Process implements recast.Backend: generate, fast-simulate, apply the
-// archived record, and extract limits.
-func (b *RivetBackend) Process(model recast.ModelSpec, record *leshouches.AnalysisRecord) (*recast.Result, error) {
+// archived record, and extract limits. The context's deadline is checked
+// between events so an expired request stops burning the generator.
+func (b *RivetBackend) Process(ctx context.Context, model recast.ModelSpec, record *leshouches.AnalysisRecord) (*recast.Result, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,6 +80,11 @@ func (b *RivetBackend) Process(model recast.ModelSpec, record *leshouches.Analys
 
 	events := make([]*datamodel.Event, 0, model.Events)
 	for i := 0; i < model.Events; i++ {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("bridge: abandoned after %d/%d events: %w", i, model.Events, err)
+			}
+		}
 		ev := gen.Generate()
 		if rivetRun != nil {
 			if err := rivetRun.Process(ev); err != nil {

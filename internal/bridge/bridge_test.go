@@ -2,6 +2,7 @@ package bridge
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -39,7 +40,7 @@ func model(events int) recast.ModelSpec {
 
 func TestBridgeProcess(t *testing.T) {
 	b := &RivetBackend{LuminosityPb: 20000}
-	res, err := b.Process(model(200), searchRecord())
+	res, err := b.Process(context.Background(), model(200), searchRecord())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,17 +67,17 @@ func TestBridgeRejectsBadModel(t *testing.T) {
 	b := &RivetBackend{}
 	m := model(10)
 	m.Process = "axion"
-	if _, err := b.Process(m, searchRecord()); err == nil {
+	if _, err := b.Process(context.Background(), m, searchRecord()); err == nil {
 		t.Fatal("bad model processed")
 	}
-	if _, err := b.Process(recast.ModelSpec{Process: "zprime", MassGeV: 1000, Events: 10}, &leshouches.AnalysisRecord{Name: "x", Selection: []leshouches.Cut{{Variable: "count:ghost", Op: ">", Value: 0}}}); err == nil {
+	if _, err := b.Process(context.Background(), recast.ModelSpec{Process: "zprime", MassGeV: 1000, Events: 10}, &leshouches.AnalysisRecord{Name: "x", Selection: []leshouches.Cut{{Variable: "count:ghost", Op: ">", Value: 0}}}); err == nil {
 		t.Fatal("invalid record processed")
 	}
 }
 
 func TestBridgeValidationAnalyses(t *testing.T) {
 	b := &RivetBackend{LuminosityPb: 20000, ValidationAnalyses: []string{"DASPOS_2013_ZMUMU"}}
-	if _, err := b.Process(model(150), searchRecord()); err != nil {
+	if _, err := b.Process(context.Background(), model(150), searchRecord()); err != nil {
 		t.Fatal(err)
 	}
 	data := b.LastValidation()
@@ -91,7 +92,7 @@ func TestBridgeValidationAnalyses(t *testing.T) {
 		t.Fatal("validation export empty")
 	}
 	b2 := &RivetBackend{ValidationAnalyses: []string{"NOPE"}}
-	if _, err := b2.Process(model(5), searchRecord()); err == nil {
+	if _, err := b2.Process(context.Background(), model(5), searchRecord()); err == nil {
 		t.Fatal("unknown validation analysis accepted")
 	}
 }
@@ -139,14 +140,14 @@ func TestBridgeAgreesWithFullSim(t *testing.T) {
 	m := model(150)
 
 	t0 := time.Now()
-	fullRes, err := full.Process(m, searchRecord())
+	fullRes, err := full.Process(context.Background(), m, searchRecord())
 	if err != nil {
 		t.Fatal(err)
 	}
 	fullDur := time.Since(t0)
 
 	t1 := time.Now()
-	lightRes, err := light.Process(m, searchRecord())
+	lightRes, err := light.Process(context.Background(), m, searchRecord())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func BenchmarkBridgeRequest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := model(10)
 		m.Seed = uint64(i)
-		if _, err := backend.Process(m, rec); err != nil {
+		if _, err := backend.Process(context.Background(), m, rec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -58,8 +58,11 @@ type Injector struct {
 	errorRate   float64
 	corruptRate float64
 	latency     time.Duration
-	failN       map[string]int
-	stats       InjectorStats
+	// latMin/latMax bound the uniform latency range (see WithLatencyRange);
+	// when unset, the fixed latency applies.
+	latMin, latMax time.Duration
+	failN          map[string]int
+	stats          InjectorStats
 }
 
 // NewInjector returns an injector with no faults configured, seeded for
@@ -107,7 +110,7 @@ func (in *Injector) Decide(op string) Outcome {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.stats.Ops++
-	out := Outcome{Latency: in.latency}
+	out := Outcome{Latency: in.drawLatencyLocked()}
 	if n := in.failN[op]; n > 0 {
 		in.failN[op] = n - 1
 		in.stats.Errors++

@@ -34,7 +34,7 @@ type flakyStub struct {
 
 func (s *flakyStub) Name() string { return "stub" }
 
-func (s *flakyStub) Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
+func (s *flakyStub) Process(_ context.Context, model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
 	s.mu.Lock()
 	s.calls++
 	s.mu.Unlock()
@@ -200,7 +200,7 @@ func TestPermanentErrorDeadLettersFirstStrike(t *testing.T) {
 type permanentBackend struct{}
 
 func (permanentBackend) Name() string { return "perm" }
-func (permanentBackend) Process(ModelSpec, *leshouches.AnalysisRecord) (*Result, error) {
+func (permanentBackend) Process(context.Context, ModelSpec, *leshouches.AnalysisRecord) (*Result, error) {
 	return nil, resilience.MarkPermanent(errors.New("model outside preserved phase space"))
 }
 
@@ -256,7 +256,7 @@ type blockingBackend struct {
 
 func (b *blockingBackend) Name() string { return "blocking" }
 
-func (b *blockingBackend) Process(ModelSpec, *leshouches.AnalysisRecord) (*Result, error) {
+func (b *blockingBackend) Process(context.Context, ModelSpec, *leshouches.AnalysisRecord) (*Result, error) {
 	b.mu.Lock()
 	b.started++
 	b.mu.Unlock()

@@ -1,0 +1,109 @@
+package recast
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestDedupKeyCanonical(t *testing.T) {
+	m := ModelSpec{Process: "zprime", MassGeV: 1000, Events: 40, Seed: 7}
+	k1 := DedupKey("A", m, "cfg")
+	if k2 := DedupKey("A", m, "cfg"); k2 != k1 {
+		t.Fatal("identical inputs produced different keys")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(k1))
+	}
+	// Every field must be load-bearing.
+	variants := []struct {
+		name     string
+		analysis string
+		model    ModelSpec
+		cfg      string
+	}{
+		{"analysis", "B", m, "cfg"},
+		{"mass", "A", ModelSpec{Process: "zprime", MassGeV: 1001, Events: 40, Seed: 7}, "cfg"},
+		{"events", "A", ModelSpec{Process: "zprime", MassGeV: 1000, Events: 41, Seed: 7}, "cfg"},
+		{"seed", "A", ModelSpec{Process: "zprime", MassGeV: 1000, Events: 40, Seed: 8}, "cfg"},
+		{"xsec", "A", ModelSpec{Process: "zprime", MassGeV: 1000, Events: 40, Seed: 7, CrossSectionPb: 1}, "cfg"},
+		{"config", "A", m, "cfg2"},
+	}
+	for _, v := range variants {
+		if DedupKey(v.analysis, v.model, v.cfg) == k1 {
+			t.Fatalf("changing %s did not change the key", v.name)
+		}
+	}
+	// Length-prefixed fields: ("ab","c") must not collide with ("a","bc").
+	if DedupKey("ab", m, "c") == DedupKey("a", m, "bc") {
+		t.Fatal("field boundaries not separated in the hash")
+	}
+}
+
+func TestCompleteFromArchive(t *testing.T) {
+	svc, stub := newStubService(t, nil)
+	ids := submitApproved(t, svc, 2)
+	primary, follower := ids[0], ids[1]
+
+	// The primary must be done first.
+	if _, err := svc.CompleteFromArchive(follower, primary); err == nil {
+		t.Fatal("archive completion accepted an unfinished primary")
+	}
+	if _, err := svc.Process(primary); err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.CompleteFromArchive(follower, primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || got.DedupOf != primary {
+		t.Fatalf("follower = %s dedup_of %q, want done of %s", got.Status, got.DedupOf, primary)
+	}
+	if got.Result == nil || got.Result.Generated != validModel().Events {
+		t.Fatalf("follower result = %+v, want the primary's archived numbers", got.Result)
+	}
+	if stub.calls != 1 {
+		t.Fatalf("backend ran %d times, want 1 (follower served from archive)", stub.calls)
+	}
+	// The copy must be independent of the primary's stored result.
+	got.Result.Generated = -1
+	re, _ := svc.Get(follower)
+	if re.Result.Generated != validModel().Events {
+		t.Fatal("archived copy aliases the primary's result")
+	}
+}
+
+func TestExpireDeadLettersApprovedOnly(t *testing.T) {
+	svc, stub := newStubService(t, nil)
+	id := submitApproved(t, svc, 1)[0]
+	if err := svc.Expire(id, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := svc.Get(id)
+	if got.Status != StatusFailed || !strings.Contains(got.Reason, "deadline") {
+		t.Fatalf("expired request = %s %q", got.Status, got.Reason)
+	}
+	if stub.calls != 0 {
+		t.Fatal("expiry ran the backend")
+	}
+	// Terminal states cannot expire.
+	if err := svc.Expire(id, "again"); err == nil {
+		t.Fatal("expired a failed request")
+	}
+}
+
+func TestBackendHonorsContext(t *testing.T) {
+	svc, _ := newStubService(t, nil)
+	id := submitApproved(t, svc, 1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A dead context reaching ProcessWithPolicy must leave the request
+	// approved (in flight) so recovery can re-run it.
+	if _, err := svc.ProcessWithPolicy(ctx, id, fastPolicy()); err == nil {
+		t.Fatal("cancelled processing reported success")
+	}
+	got, _ := svc.Get(id)
+	if got.Status != StatusApproved {
+		t.Fatalf("request after cancellation = %s, want approved", got.Status)
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
+
+	"daspos/internal/resilience"
 )
 
 // The HTTP front end. Routes:
@@ -78,7 +81,10 @@ type submitBody struct {
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var body submitBody
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+	// MaxBytesReader (not a bare LimitReader) closes the connection on
+	// an oversized body, so a tenant cannot stream an unbounded payload
+	// into the decoder and keep the connection serviceable.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
 		httpError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
 		return
 	}
@@ -112,7 +118,7 @@ func (s *Service) handleReject(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Reason string `json:"reason"`
 	}
-	_ = json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body)
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&body)
 	if err := s.Reject(r.PathValue("id"), body.Reason); err != nil {
 		httpError(w, statusFor(err), err.Error())
 		return
@@ -157,6 +163,9 @@ const DefaultClientTimeout = 30 * time.Second
 // experiment (set Experiment to send the role header). Every call runs
 // under Timeout (DefaultClientTimeout when zero) unless a custom HTTP
 // client is supplied, and accepts a context for caller-side cancellation.
+// A context deadline also travels to the server as a relative budget
+// header, so the service can shed or abandon work the caller will never
+// see.
 type Client struct {
 	BaseURL string
 	// HTTP overrides the transport entirely; when set, Timeout is the
@@ -166,6 +175,68 @@ type Client struct {
 	// DefaultClientTimeout; negative means no timeout.
 	Timeout    time.Duration
 	Experiment bool
+	// Retry, when MaxAttempts > 1, re-issues calls that fail with a
+	// transient error — a shed (429), a brown-out (503), a dropped
+	// connection. The server's Retry-After is honored over the policy's
+	// own backoff (see resilience.Retry). Submissions are retried too:
+	// a shed submission was never accepted, and an ambiguous failure
+	// after acceptance is absorbed by the server's dedup key.
+	Retry resilience.Policy
+	// Now is the clock used to measure the remaining context budget for
+	// the deadline header. Nil means the wall clock.
+	Now func() time.Time
+}
+
+func (c *Client) clock() func() time.Time {
+	if c.Now != nil {
+		return c.Now
+	}
+	return time.Now
+}
+
+// HTTPError is a front-end response with status >= 400, classified for
+// the resilience taxonomy: 429 and 5xx are transient (the service said
+// "not now" or is in trouble), other 4xx are permanent (the request
+// itself is wrong and repetition cannot fix it).
+type HTTPError struct {
+	Status int
+	Msg    string
+	// RetryAfter is the server's own back-off advice, when it sent one.
+	RetryAfter time.Duration
+}
+
+// Error renders the failure.
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("recast: %s (%d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("recast: status %d", e.Status)
+}
+
+// Transient reports whether retrying can help.
+func (e *HTTPError) Transient() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// classify wraps the error for the resilience taxonomy, attaching the
+// server's Retry-After as a hint on transient failures.
+func (e *HTTPError) classify() error {
+	if e.Transient() {
+		return resilience.WithRetryAfter(resilience.MarkTransient(e), e.RetryAfter)
+	}
+	return resilience.MarkPermanent(e)
+}
+
+// parseRetryAfter reads a Retry-After header (delta-seconds form).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // httpClient returns the transport, defaulting to one with a timeout —
@@ -186,21 +257,34 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	call := func(actx context.Context) error {
+		return c.doOnce(actx, method, path, body, out)
+	}
+	if c.Retry.MaxAttempts > 1 {
+		return resilience.Retry(ctx, c.Retry, call)
+	}
+	return call(ctx)
+}
+
+// doOnce issues a single HTTP exchange. Failures come back classified:
+// network errors and 429/5xx responses transient (with the server's
+// Retry-After as the backoff hint), other 4xx permanent.
+func (c *Client) doOnce(ctx context.Context, method, path string, body, out interface{}) error {
 	hc := c.httpClient()
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return resilience.MarkPermanent(err)
 		}
 		rd = bytes.NewReader(data)
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return resilience.MarkPermanent(err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -208,32 +292,48 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	if c.Experiment {
 		req.Header.Set(roleHeader, roleExperiment)
 	}
+	// A context deadline becomes a relative budget header, so the server
+	// sheds work it cannot finish in time instead of computing results
+	// nobody will read.
+	now := c.clock()
+	if budget, ok := resilience.RemainingBudget(ctx, now()); ok {
+		req.Header.Set(BudgetHeader, resilience.EncodeBudget(budget))
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		// The wire failed before the server answered: connection refused,
+		// reset, timeout. All heal-on-retry territory.
+		return resilience.MarkTransient(err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
 	if err != nil {
-		return err
+		return resilience.MarkTransient(err)
 	}
 	if resp.StatusCode >= 400 {
+		herr := &HTTPError{
+			Status:     resp.StatusCode,
+			Msg:        fmt.Sprintf("%s %s", method, path),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("recast: %s %s: %s (%d)", method, path, e.Error, resp.StatusCode)
+			herr.Msg = fmt.Sprintf("%s %s: %s", method, path, e.Error)
+		} else if out != nil {
+			// A process failure returns the request body with failed status.
+			_ = json.Unmarshal(data, out)
 		}
-		// A process failure returns the request body with failed status.
-		if out != nil && json.Unmarshal(data, out) == nil {
-			return fmt.Errorf("recast: %s %s: status %d", method, path, resp.StatusCode)
-		}
-		return fmt.Errorf("recast: %s %s: status %d", method, path, resp.StatusCode)
+		return herr.classify()
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(data, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		return resilience.MarkPermanent(err)
+	}
+	return nil
 }
 
 // Analyses fetches the public catalogue.

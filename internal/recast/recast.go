@@ -17,9 +17,12 @@ package recast
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 
@@ -136,6 +139,10 @@ type Request struct {
 	// Attempts is the back-end processing history: one entry per try,
 	// the audit trail behind a dead-lettered (failed) request.
 	Attempts []Attempt `json:"attempts,omitempty"`
+	// DedupOf names the primary request whose archived result answered
+	// this one — set only when the request was served by memoization
+	// rather than a back-end run.
+	DedupOf string `json:"dedup_of,omitempty"`
 }
 
 // Subscription is an analysis the experiment offers for reinterpretation.
@@ -152,8 +159,56 @@ type Subscription struct {
 type Backend interface {
 	// Name labels results with the processing tier.
 	Name() string
-	// Process generates the model and applies the preserved analysis.
-	Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error)
+	// Process generates the model and applies the preserved analysis. The
+	// context carries the request's propagated deadline: a back end should
+	// abandon work promptly once the requester can no longer receive it.
+	Process(ctx context.Context, model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error)
+}
+
+// ConfigDigester is optionally implemented by back ends whose processing
+// depends on configuration beyond the model — the preserved chain
+// configuration, calibration tag, luminosity. The digest joins the dedup
+// key so two requests only coalesce when they would run the *same*
+// computation.
+type ConfigDigester interface {
+	ConfigDigest() string
+}
+
+// DedupKey derives the memoization key for a request: two requests with
+// the same analysis, the same canonical model, and the same back-end
+// chain configuration produce byte-identical results, so the second can
+// be answered from the archive of the first. Floats enter the hash
+// through their IEEE-754 bits so the key is exact, never formatted.
+func DedupKey(analysis string, model ModelSpec, chainDigest string) string {
+	h := sha256.New()
+	put := func(s string) {
+		var n [8]byte
+		writeUint64(&n, uint64(len(s)))
+		h.Write(n[:])
+		io.WriteString(h, s)
+	}
+	putU64 := func(v uint64) {
+		var n [8]byte
+		writeUint64(&n, v)
+		h.Write(n[:])
+	}
+	put("recast-dedup-v1")
+	put(analysis)
+	put(model.Process)
+	putU64(math.Float64bits(model.MassGeV))
+	putU64(uint64(model.Events))
+	putU64(model.Seed)
+	putU64(math.Float64bits(model.CrossSectionPb))
+	put(chainDigest)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeUint64 encodes v big-endian into n.
+func writeUint64(n *[8]byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		n[i] = byte(v)
+		v >>= 8
+	}
 }
 
 // Errors returned by the service.
@@ -309,7 +364,7 @@ func gateError(err error) bool {
 // appends it to the request's attempt history — without deciding the
 // request's fate. The caller (Process for one-shot, ProcessWithPolicy for
 // retried) owns the terminal transition.
-func (s *Service) processOnce(id string) (*Result, error) {
+func (s *Service) processOnce(ctx context.Context, id string) (*Result, error) {
 	s.mu.Lock()
 	req, ok := s.requests[id]
 	if !ok {
@@ -325,7 +380,7 @@ func (s *Service) processOnce(id string) (*Result, error) {
 	s.mu.Unlock()
 
 	// The expensive part runs outside the lock.
-	res, err := s.backend.Process(model, sub.Record)
+	res, err := s.backend.Process(ctx, model, sub.Record)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -364,7 +419,7 @@ func (s *Service) finish(id string, res *Result, err error) (*Request, error) {
 // layer exposes it behind the experiment role, and the Queue type runs it
 // from workers (with a retry policy — see ProcessWithPolicy).
 func (s *Service) Process(id string) (*Request, error) {
-	res, err := s.processOnce(id)
+	res, err := s.processOnce(context.Background(), id)
 	if err != nil && gateError(err) {
 		return nil, err
 	}
@@ -379,8 +434,8 @@ func (s *Service) Process(id string) (*Request, error) {
 // crash or shutdown can recover and re-enqueue it.
 func (s *Service) ProcessWithPolicy(ctx context.Context, id string, pol resilience.Policy) (*Request, error) {
 	var res *Result
-	err := resilience.Retry(ctx, pol, func(context.Context) error {
-		r, rerr := s.processOnce(id)
+	err := resilience.Retry(ctx, pol, func(actx context.Context) error {
+		r, rerr := s.processOnce(actx, id)
 		if rerr == nil {
 			res = r
 		}
@@ -401,6 +456,47 @@ func (s *Service) ProcessWithPolicy(ctx context.Context, id string, pol resilien
 		}
 	}
 	return s.finish(id, res, err)
+}
+
+// CompleteFromArchive finishes an approved request with the archived
+// result of an identical, already-done primary request — the dedup hit
+// path. The follower's result is a copy of the primary's, and DedupOf
+// records the provenance so the audit trail shows no back-end run
+// happened.
+func (s *Service) CompleteFromArchive(id, primaryID string) (*Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req, ok := s.requests[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRequest, id)
+	}
+	if req.Status != StatusApproved {
+		return nil, fmt.Errorf("%w: %s is %s", ErrWrongState, id, req.Status)
+	}
+	primary, ok := s.requests[primaryID]
+	if !ok {
+		return nil, fmt.Errorf("%w: dedup primary %s", ErrNoRequest, primaryID)
+	}
+	if primary.Status != StatusDone || primary.Result == nil {
+		return nil, fmt.Errorf("%w: dedup primary %s is %s", ErrWrongState, primaryID, primary.Status)
+	}
+	rc := *primary.Result
+	rc.CutFlow = append([]int(nil), primary.Result.CutFlow...)
+	req.Status = StatusDone
+	req.Result = &rc
+	req.DedupOf = primaryID
+	s.appendJournalLocked(req)
+	return cloneRequest(req), nil
+}
+
+// Expire dead-letters an approved request whose deadline passed before a
+// worker could serve it — dropped at the queue, not failed by the back
+// end. The distinct reason keeps shed-by-deadline visible in audits.
+func (s *Service) Expire(id, reason string) error {
+	if reason == "" {
+		reason = "deadline expired before processing"
+	}
+	return s.transition(id, StatusApproved, StatusFailed, reason)
 }
 
 func cloneRequest(r *Request) *Request {
@@ -438,11 +534,19 @@ type FullSimBackend struct {
 // Name implements Backend.
 func (*FullSimBackend) Name() string { return "fullsim" }
 
+// ConfigDigest implements ConfigDigester: everything beyond the model
+// that determines the chain's output bytes — calibration pin and
+// luminosity. Workers is excluded on purpose: the physics output is
+// identical at any worker count.
+func (b *FullSimBackend) ConfigDigest() string {
+	return fmt.Sprintf("fullsim|tag=%s|run=%d|lumi=%x", b.Tag, b.Run, math.Float64bits(b.LuminosityPb))
+}
+
 // Process implements Backend. The chain — generate → simulate → digitize →
 // reconstruct → slim — runs as one streaming event-flow pipeline; a whole-
 // sample slice exists only at the end, where the preserved analysis needs
 // the full selected sample.
-func (b *FullSimBackend) Process(model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
+func (b *FullSimBackend) Process(ctx context.Context, model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -455,7 +559,7 @@ func (b *FullSimBackend) Process(model ModelSpec, record *leshouches.AnalysisRec
 	full := sim.NewFullSim(b.Det, model.Seed)
 	snap := b.CondDB.Snapshot(b.Tag, b.Run)
 
-	p := eventflow.New(context.Background(), "fullsim", eventflow.Options{})
+	p := eventflow.New(ctx, "fullsim", eventflow.Options{})
 	hepmcS := eventflow.Source(p, "generate", generator.EventSource(gen, model.Events))
 	simS := eventflow.Map(hepmcS, "simulate", workers, full.StageFunc())
 	rawS := eventflow.Map(simS, "digitize", workers, rawdata.DigitizeFunc(b.Run))

@@ -1,0 +1,780 @@
+package recast
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"daspos/internal/leshouches"
+	"daspos/internal/resilience"
+)
+
+// Server is the overload-safe multi-tenant front door: the Service state
+// machine behind admission control (per-tenant token buckets, queue
+// bounds, deadline feasibility), a crash-safe fair queue (PQueue), a
+// worker pool with end-to-end deadline propagation, request memoization
+// keyed by (model, chain config), and a breaker-gated back end whose
+// brown-outs degrade intake instead of collapsing it.
+//
+// Two journals make acceptance durable: requests.log (request snapshots,
+// fsynced per line) records what each request *is*, and queue/queue.log
+// records what the scheduler owes. Recovery replays both and reconciles:
+// approved requests missing from the queue are re-enqueued, queue
+// entries whose request already finished are closed out. An accepted
+// request — one the client saw a 2xx for — is never lost.
+type Server struct {
+	svc *Service
+	pq  *PQueue
+	cfg ServerConfig
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	breaker *resilience.Breaker
+	now     func() time.Time
+
+	reqLog *syncWriter
+
+	mu      sync.Mutex
+	buckets map[string]*resilience.TokenBucket
+	// dedupDone maps dedup key → ID of a done primary whose archived
+	// result answers any identical request.
+	dedupDone map[string]string
+	// ewmaMs tracks back-end service time (exponentially weighted) for
+	// deadline-feasibility and Retry-After estimates.
+	ewmaMs  float64
+	tenants map[string]*TenantStatus
+
+	admitted, shed, served, dedupHits, expired, failed uint64
+	journalErrs                                        uint64
+}
+
+// ServerConfig tunes the front door. The zero value serves with
+// defaults: 2 workers, a 64-deep queue shrinking to 16 under
+// degradation, unlimited tenant rates, manual approval.
+type ServerConfig struct {
+	// JournalDir holds requests.log and the queue journal. Required.
+	JournalDir string
+	// Workers is the processing pool size; < 1 means 2.
+	Workers int
+	// QueueBound sheds new work once this many entries are queued;
+	// < 1 means 64.
+	QueueBound int
+	// DegradedBound replaces QueueBound while the back end browns out
+	// (breaker not closed); < 1 means QueueBound/4 (at least 1).
+	DegradedBound int
+	// TenantRate is each tenant's sustained admission rate in requests
+	// per second; <= 0 means unlimited.
+	TenantRate float64
+	// TenantBurst is each tenant's bucket size; < 1 means 8.
+	TenantBurst float64
+	// TenantWeights sets fair-share weights (default 1 per tenant).
+	TenantWeights map[string]float64
+	// AutoApprove approves every submitted request immediately — the
+	// multi-tenant service mode, where the experiment pre-delegated
+	// approval for subscribed analyses. When false, work enters the
+	// queue at explicit approval.
+	AutoApprove bool
+	// Policy is the per-request back-end retry policy; a zero policy
+	// means DefaultQueuePolicy.
+	Policy resilience.Policy
+	// Breaker tunes the back-end circuit breaker.
+	Breaker resilience.BreakerConfig
+	// Now is a test hook for the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueBound < 1 {
+		c.QueueBound = 64
+	}
+	if c.DegradedBound < 1 {
+		c.DegradedBound = c.QueueBound / 4
+		if c.DegradedBound < 1 {
+			c.DegradedBound = 1
+		}
+	}
+	if c.TenantBurst < 1 {
+		c.TenantBurst = 8
+	}
+	if c.Policy.MaxAttempts == 0 {
+		c.Policy = DefaultQueuePolicy()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// TenantStatus is one tenant's admission ledger.
+type TenantStatus struct {
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	Served   uint64 `json:"served"`
+}
+
+// BudgetHeader carries a request's remaining deadline budget across the
+// HTTP hop, as relative milliseconds (clock-skew tolerant).
+const BudgetHeader = "X-Recast-Budget-Ms"
+
+// syncWriter appends to a file with an fsync per write, so the request
+// journal can never lag the queue journal across a crash.
+type syncWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := w.f.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, w.f.Sync()
+}
+
+func (w *syncWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// NewServer builds the front door over a prepared Service (subscriptions
+// registered, no requests yet), recovering both journals from
+// cfg.JournalDir and reconciling them. Start launches the workers.
+func NewServer(ctx context.Context, svc *Service, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.JournalDir == "" {
+		return nil, fmt.Errorf("recast: server needs a journal directory")
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return nil, fmt.Errorf("recast: creating journal dir: %w", err)
+	}
+
+	// Recover the request ledger: replay, then reattach as the journal
+	// sink (fsync per line) so new mutations append durably.
+	reqPath := filepath.Join(cfg.JournalDir, "requests.log")
+	if f, err := os.Open(reqPath); err == nil {
+		_, rerr := svc.ReplayJournal(f)
+		f.Close() //daspos:close-ok — read-only replay handle, nothing buffered
+		if rerr != nil {
+			return nil, fmt.Errorf("recast: replaying request journal: %w", rerr)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("recast: opening request journal: %w", err)
+	}
+	rf, err := os.OpenFile(reqPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("recast: opening request journal for append: %w", err)
+	}
+	reqLog := &syncWriter{f: rf}
+	svc.SetJournal(reqLog)
+
+	pq, err := OpenPQueue(ctx, filepath.Join(cfg.JournalDir, "queue"),
+		PQueueOptions{Weights: cfg.TenantWeights})
+	if err != nil {
+		reqLog.Close() //daspos:close-ok — error path, the open error wins
+		return nil, err
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Server{
+		svc: svc, pq: pq, cfg: cfg,
+		ctx: sctx, cancel: cancel,
+		breaker:   resilience.NewBreaker(cfg.Breaker),
+		now:       cfg.Now,
+		reqLog:    reqLog,
+		buckets:   make(map[string]*resilience.TokenBucket),
+		dedupDone: make(map[string]string),
+		tenants:   make(map[string]*TenantStatus),
+	}
+	// Gate the back end behind the server's breaker so brown-outs trip
+	// degraded intake. Idempotent across recoveries of the same Service.
+	if _, gated := svc.backend.(*GatedBackend); !gated {
+		openInterval := cfg.Breaker.OpenInterval
+		if openInterval <= 0 {
+			openInterval = time.Second
+		}
+		svc.backend = &GatedBackend{Inner: svc.backend, Breaker: s.breaker, OpenInterval: openInterval}
+	} else {
+		// A reused Service keeps its gate; point the server's degraded
+		// signal at the existing breaker.
+		s.breaker = svc.backend.(*GatedBackend).Breaker
+	}
+	if err := s.reconcile(); err != nil {
+		s.pq.Close()
+		reqLog.Close() //daspos:close-ok — error path, the reconcile error wins
+		cancel()
+		return nil, err
+	}
+	return s, nil
+}
+
+// chainDigest returns the back end's configuration digest for dedup
+// keys; back ends that don't implement ConfigDigester dedup on the
+// back-end name alone.
+func (s *Server) chainDigest() string {
+	if d, ok := s.svc.backend.(ConfigDigester); ok {
+		return d.ConfigDigest()
+	}
+	return s.svc.backend.Name()
+}
+
+// reconcile aligns the two recovered journals: every approved request
+// must be queued (or re-queued), and every live queue entry whose
+// request already reached a terminal state is closed out.
+func (s *Server) reconcile() error {
+	digest := s.chainDigest()
+	for _, req := range s.svc.List() {
+		key := DedupKey(req.Analysis, req.Model, digest)
+		switch req.Status {
+		case StatusDone:
+			s.recordDone(key, req.ID)
+			if e, ok := s.pq.Get(req.ID); ok && (e.State == EntryQueued || e.State == EntryClaimed) {
+				if err := s.pq.Complete(req.ID, EntryDone, req.DedupOf); err != nil {
+					return fmt.Errorf("recast: reconciling %s: %w", req.ID, err)
+				}
+			}
+		case StatusFailed:
+			if e, ok := s.pq.Get(req.ID); ok && (e.State == EntryQueued || e.State == EntryClaimed) {
+				if err := s.pq.Complete(req.ID, EntryFailed, ""); err != nil {
+					return fmt.Errorf("recast: reconciling %s: %w", req.ID, err)
+				}
+			}
+		case StatusApproved:
+			// Accepted work. Enqueue is idempotent, so requests already
+			// in the queue (any state) pass through unchanged; requests
+			// the crash caught between approval and enqueue are queued
+			// now. The original deadline did not survive the crash only
+			// in this window — we serve rather than guess.
+			e := QueueEntry{ID: req.ID, Tenant: req.Requester, DedupKey: key}
+			if prev, ok := s.pq.Get(req.ID); ok {
+				e.DeadlineUnixMs = prev.DeadlineUnixMs
+			}
+			if err := s.pq.Enqueue(e); err != nil {
+				return fmt.Errorf("recast: re-enqueueing %s: %w", req.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// recordDone indexes a completed primary for memoization. The earliest
+// ID wins so the index is deterministic across recoveries.
+func (s *Server) recordDone(key, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.dedupDone[key]; !ok || id < prev {
+		s.dedupDone[key] = id
+	}
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close stops the workers (in-flight work is abandoned mid-claim, to be
+// recovered on the next open) and releases both journals.
+func (s *Server) Close() error {
+	s.cancel()
+	s.wg.Wait()
+	err := s.pq.Close()
+	s.svc.SetJournal(nil)
+	if cerr := s.reqLog.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Service exposes the underlying state machine (tests, CLI wiring).
+func (s *Server) Service() *Service { return s.svc }
+
+// Queue exposes the persistent queue (tests, status tooling).
+func (s *Server) Queue() *PQueue { return s.pq }
+
+// degraded reports whether the back end is browning out: any breaker
+// state but closed means recent calls failed and intake should shrink.
+func (s *Server) degraded() bool {
+	return s.breaker.State() != resilience.Closed
+}
+
+// worker claims queue entries and drives them to a terminal state.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		e, ok, err := s.pq.Claim()
+		if err != nil {
+			// Journal append failed (disk trouble). Count it and back
+			// off; claims will keep failing until the disk heals, and
+			// accepted work stays durable in the journal.
+			s.mu.Lock()
+			s.journalErrs++
+			s.mu.Unlock()
+			ok = false
+		}
+		if !ok {
+			select {
+			case <-s.ctx.Done():
+				return
+			case <-s.pq.Ready():
+			case <-time.After(50 * time.Millisecond):
+				// Re-poll: Ready pulses are hints and another worker may
+				// have consumed the one for our entry.
+			}
+			continue
+		}
+		s.handle(e)
+	}
+}
+
+// handle drives one claimed entry: expire if the deadline already
+// passed, answer from the archive on a dedup hit, otherwise run the
+// back end under the propagated deadline.
+func (s *Server) handle(e QueueEntry) {
+	now := s.now()
+	if e.DeadlineUnixMs > 0 && now.UnixMilli() > e.DeadlineUnixMs {
+		s.expire(e.ID, "deadline expired in queue")
+		return
+	}
+
+	// Dedup: an identical computation already archived its numbers.
+	if e.DedupKey != "" {
+		s.mu.Lock()
+		primary, hit := s.dedupDone[e.DedupKey]
+		s.mu.Unlock()
+		if hit && primary != e.ID {
+			if _, err := s.svc.CompleteFromArchive(e.ID, primary); err == nil {
+				s.completeEntry(e.ID, EntryDone, primary)
+				s.mu.Lock()
+				s.dedupHits++
+				s.served++
+				if t := s.tenantLocked(e.Tenant); t != nil {
+					t.Served++
+				}
+				s.mu.Unlock()
+				return
+			}
+			// Fall through: archive said no (request in an odd state);
+			// the back end is the safe path.
+		}
+	}
+
+	ctx := s.ctx
+	if e.DeadlineUnixMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(e.DeadlineUnixMs))
+		defer cancel()
+	}
+
+	start := s.now()
+	req, err := s.svc.ProcessWithPolicy(ctx, e.ID, s.cfg.Policy)
+	s.observeServiceTime(s.now().Sub(start))
+
+	switch {
+	case err == nil && req != nil && req.Status == StatusDone:
+		s.completeEntry(e.ID, EntryDone, "")
+		s.recordDone(e.DedupKey, e.ID)
+		s.mu.Lock()
+		s.served++
+		if t := s.tenantLocked(e.Tenant); t != nil {
+			t.Served++
+		}
+		s.mu.Unlock()
+	case req != nil && req.Status == StatusFailed:
+		// Dead-lettered: exhausted retries or a permanent error.
+		s.completeEntry(e.ID, EntryFailed, "")
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+	case s.ctx.Err() != nil:
+		// Shutdown: the claim stays open in the journal; recovery hands
+		// the entry back to the queue.
+		return
+	case ctx.Err() != nil:
+		// The request's own deadline died mid-processing.
+		s.expire(e.ID, "deadline expired during processing")
+	default:
+		// Gate errors (request vanished, wrong state): close the entry
+		// so the queue cannot loop on it.
+		s.completeEntry(e.ID, EntryFailed, "")
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) expire(id, reason string) {
+	// The request may legitimately be past "approved" (a dedup race);
+	// Expire's state check keeps the ledger honest either way.
+	_ = s.svc.Expire(id, reason)
+	s.completeEntry(id, EntryExpired, "")
+	s.mu.Lock()
+	s.expired++
+	s.mu.Unlock()
+}
+
+func (s *Server) completeEntry(id, state, dedupOf string) {
+	if err := s.pq.Complete(id, state, dedupOf); err != nil {
+		s.mu.Lock()
+		s.journalErrs++
+		s.mu.Unlock()
+	}
+}
+
+// observeServiceTime folds one back-end run into the EWMA estimate.
+func (s *Server) observeServiceTime(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ewmaMs == 0 {
+		s.ewmaMs = ms
+		return
+	}
+	s.ewmaMs = 0.8*s.ewmaMs + 0.2*ms
+}
+
+// tenantLocked returns the tenant ledger, creating it; callers hold mu.
+func (s *Server) tenantLocked(name string) *TenantStatus {
+	if name == "" {
+		return nil
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &TenantStatus{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// bucketFor returns the tenant's token bucket, creating it from config.
+func (s *Server) bucketFor(tenant string) *resilience.TokenBucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[tenant]
+	if !ok {
+		b = resilience.NewTokenBucket(s.cfg.TenantRate, s.cfg.TenantBurst)
+		b.SetClock(s.now)
+		s.buckets[tenant] = b
+	}
+	return b
+}
+
+// admissionError is a shed decision: HTTP status plus how long the
+// client should stay away.
+type admissionError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// admit decides whether a submission may enter: per-tenant rate, queue
+// bound (shrunk under degradation), and deadline feasibility. A nil
+// return admits.
+func (s *Server) admit(tenant string, budget time.Duration) *admissionError {
+	if ok, retry := s.bucketFor(tenant).Take(); !ok {
+		if retry < time.Second {
+			retry = time.Second
+		}
+		return &admissionError{
+			status: http.StatusTooManyRequests,
+			msg:    fmt.Sprintf("tenant %s over rate limit", tenant), retryAfter: retry,
+		}
+	}
+
+	st := s.pq.Stats()
+	bound := s.cfg.QueueBound
+	degraded := s.degraded()
+	if degraded {
+		bound = s.cfg.DegradedBound
+	}
+	s.mu.Lock()
+	ewma := s.ewmaMs
+	s.mu.Unlock()
+	// Estimated wait for a new arrival: everything queued ahead of it,
+	// spread over the pool.
+	estWait := time.Duration(ewma*float64(st.Queued)/float64(s.cfg.Workers)) * time.Millisecond
+	if st.Queued >= bound {
+		retry := estWait
+		if retry < time.Second {
+			retry = time.Second
+		}
+		msg := fmt.Sprintf("queue full (%d queued, bound %d)", st.Queued, bound)
+		if degraded {
+			msg = "degraded: " + msg
+		}
+		return &admissionError{status: http.StatusTooManyRequests, msg: msg, retryAfter: retry}
+	}
+	// A deadline the queue already cannot meet is shed at the door —
+	// cheaper for everyone than accepting work we will expire.
+	if budget > 0 && ewma > 0 && budget < estWait+time.Duration(ewma)*time.Millisecond {
+		retry := estWait
+		if retry < time.Second {
+			retry = time.Second
+		}
+		return &admissionError{
+			status: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("deadline budget %v below estimated service %v",
+				budget, estWait+time.Duration(ewma)*time.Millisecond),
+			retryAfter: retry,
+		}
+	}
+	return nil
+}
+
+// Handler returns the multi-tenant front end: the Service's routes with
+// the submission path behind admission control, enqueueing into the
+// fair queue, plus GET /status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /analyses", s.svc.handleAnalyses)
+	mux.HandleFunc("POST /requests", s.handleSubmit)
+	mux.HandleFunc("GET /requests/{id}", s.svc.handleGet)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("POST /requests/{id}/approve", s.svc.experimentOnly(s.handleApprove))
+	mux.HandleFunc("POST /requests/{id}/reject", s.svc.experimentOnly(s.svc.handleReject))
+	return mux
+}
+
+// shedResponse writes a 429 with Retry-After — the contract that lets a
+// well-behaved client back off exactly as long as the server asks.
+func shedResponse(w http.ResponseWriter, e *admissionError) {
+	secs := int64((e.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	httpError(w, e.status, e.msg)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body submitBody
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	if body.Requester == "" {
+		httpError(w, http.StatusBadRequest, "request needs a requester (tenant)")
+		return
+	}
+
+	// Decode the propagated deadline before admission: feasibility is
+	// part of the shed decision.
+	var budget time.Duration
+	if h := r.Header.Get(BudgetHeader); h != "" {
+		var err error
+		if budget, err = resilience.DecodeBudget(h); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if budget == 0 {
+			httpError(w, http.StatusBadRequest, "deadline budget already expired")
+			return
+		}
+	}
+
+	if shed := s.admit(body.Requester, budget); shed != nil {
+		s.mu.Lock()
+		s.shed++
+		if t := s.tenantLocked(body.Requester); t != nil {
+			t.Shed++
+		}
+		s.mu.Unlock()
+		shedResponse(w, shed)
+		return
+	}
+
+	req, err := s.svc.Submit(body.Analysis, body.Requester, body.Motivation, body.Model)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.admitted++
+	if t := s.tenantLocked(body.Requester); t != nil {
+		t.Admitted++
+	}
+	s.mu.Unlock()
+
+	if !s.cfg.AutoApprove {
+		// Closed-system mode: the request waits for the experiment;
+		// enqueueing happens at approval.
+		writeJSON(w, http.StatusCreated, req)
+		return
+	}
+	if err := s.svc.Approve(req.ID); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out, err := s.acceptApproved(req.ID, body.Requester, budget)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, out)
+}
+
+// acceptApproved makes an approved request durable work: answered from
+// the archive immediately on a dedup hit, enqueued otherwise.
+func (s *Server) acceptApproved(id, tenant string, budget time.Duration) (*Request, error) {
+	key := s.dedupKeyFor(id)
+	s.mu.Lock()
+	primary, hit := s.dedupDone[key]
+	s.mu.Unlock()
+	if hit && primary != id {
+		if done, err := s.svc.CompleteFromArchive(id, primary); err == nil {
+			s.mu.Lock()
+			s.dedupHits++
+			s.served++
+			if t := s.tenantLocked(tenant); t != nil {
+				t.Served++
+			}
+			s.mu.Unlock()
+			return done, nil
+		}
+	}
+	e := QueueEntry{ID: id, Tenant: tenant, DedupKey: key}
+	if budget > 0 {
+		e.DeadlineUnixMs = s.now().Add(budget).UnixMilli()
+	}
+	if err := s.pq.Enqueue(e); err != nil {
+		return nil, err
+	}
+	return s.svc.Get(id)
+}
+
+// dedupKeyFor derives the dedup key for an existing request.
+func (s *Server) dedupKeyFor(id string) string {
+	req, err := s.svc.Get(id)
+	if err != nil {
+		return ""
+	}
+	return DedupKey(req.Analysis, req.Model, s.chainDigest())
+}
+
+// handleApprove is the manual-approval path: approve, then enqueue.
+func (s *Server) handleApprove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.svc.Approve(id); err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	req, err := s.svc.Get(id)
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	out, err := s.acceptApproved(id, req.Requester, 0)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ServerStatus is the GET /status document: the degradation flag first,
+// then the live census operators page on.
+type ServerStatus struct {
+	Degraded  bool                    `json:"degraded"`
+	Breaker   string                  `json:"breaker"`
+	Queue     QueueStats              `json:"queue"`
+	Workers   int                     `json:"workers"`
+	EWMAMs    float64                 `json:"ewma_service_ms"`
+	Admitted  uint64                  `json:"admitted"`
+	Shed      uint64                  `json:"shed"`
+	Served    uint64                  `json:"served"`
+	DedupHits uint64                  `json:"dedup_hits"`
+	Expired   uint64                  `json:"expired"`
+	Failed    uint64                  `json:"failed"`
+	Tenants   map[string]TenantStatus `json:"tenants,omitempty"`
+	JournalOK bool                    `json:"journal_ok"`
+}
+
+// Status snapshots the server for the status endpoint and tests.
+func (s *Server) Status() ServerStatus {
+	st := ServerStatus{
+		Degraded: s.degraded(),
+		Breaker:  s.breaker.State().String(),
+		Queue:    s.pq.Stats(),
+		Workers:  s.cfg.Workers,
+	}
+	s.mu.Lock()
+	st.EWMAMs = s.ewmaMs
+	st.Admitted, st.Shed, st.Served = s.admitted, s.shed, s.served
+	st.DedupHits, st.Expired, st.Failed = s.dedupHits, s.expired, s.failed
+	st.JournalOK = s.journalErrs == 0
+	st.Tenants = make(map[string]TenantStatus, len(s.tenants))
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Tenants[name] = *s.tenants[name]
+	}
+	s.mu.Unlock()
+	if s.svc.JournalErr() != nil {
+		st.JournalOK = false
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// GatedBackend wraps a back end behind a circuit breaker. Transient and
+// unclassified failures trip it; permanent errors (invalid models, bad
+// records) count as service health — the back end answered, the answer
+// was just "no".
+type GatedBackend struct {
+	Inner   Backend
+	Breaker *resilience.Breaker
+	// OpenInterval is echoed as the retry hint when the breaker sheds.
+	OpenInterval time.Duration
+}
+
+// Name implements Backend.
+func (g *GatedBackend) Name() string { return g.Inner.Name() }
+
+// ConfigDigest forwards the inner digest so dedup keys are unchanged by
+// gating.
+func (g *GatedBackend) ConfigDigest() string {
+	if d, ok := g.Inner.(ConfigDigester); ok {
+		return d.ConfigDigest()
+	}
+	return g.Inner.Name()
+}
+
+// Process implements Backend.
+func (g *GatedBackend) Process(ctx context.Context, model ModelSpec, record *leshouches.AnalysisRecord) (*Result, error) {
+	if !g.Breaker.Allow() {
+		hint := g.OpenInterval
+		if hint <= 0 {
+			hint = time.Second
+		}
+		return nil, resilience.WithRetryAfter(resilience.MarkTransient(resilience.ErrOpen), hint)
+	}
+	res, err := g.Inner.Process(ctx, model, record)
+	if err != nil && resilience.IsPermanent(err) {
+		g.Breaker.Success()
+	} else {
+		g.Breaker.Record(err)
+	}
+	return res, err
+}

@@ -253,6 +253,12 @@ func Retry(ctx context.Context, p Policy, op func(ctx context.Context) error) er
 			break
 		}
 		d := p.Backoff(attempt, rng)
+		// A server that said when to come back (Retry-After on a 429/503,
+		// a breaker's open interval) knows better than our backoff curve:
+		// never knock earlier than invited.
+		if hint, ok := RetryAfter(last); ok && hint > d {
+			d = hint
+		}
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, last, d)
 		}

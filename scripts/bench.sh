@@ -10,6 +10,6 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "==> go run ./cmd/daspos-bench $*"
-go run ./cmd/daspos-bench -out BENCH_pipeline.json -cluster-out BENCH_cluster.json "$@"
+go run ./cmd/daspos-bench -out BENCH_pipeline.json -cluster-out BENCH_cluster.json -recast-out BENCH_recast.json "$@"
 
-echo "bench: wrote BENCH_pipeline.json and BENCH_cluster.json"
+echo "bench: wrote BENCH_pipeline.json, BENCH_cluster.json, and BENCH_recast.json"

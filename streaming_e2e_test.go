@@ -401,6 +401,7 @@ func TestFullSimBackendWorkerInvariance(t *testing.T) {
 			Det: det, CondDB: db, Tag: "t", Run: 1, LuminosityPb: 20000, Workers: workers,
 		}
 		res, err := backend.Process(
+			context.Background(),
 			recast.ModelSpec{Process: "zprime", MassGeV: 1000, Events: 40, Seed: 7},
 			dimuonSearchRecord(),
 		)
