@@ -2,9 +2,10 @@
 // the serialize→digest→store pipeline, the v3 event codec against the gob
 // baseline, and parallel CAS ingest — at fixed seeds, and writes the
 // results as BENCH_pipeline.json so successive changes leave a recorded
-// performance trajectory instead of anecdotes. Two further sections get
-// their own reports: the multi-node cluster (BENCH_cluster.json) and the
-// multi-tenant RECAST overload harness (BENCH_recast.json).
+// performance trajectory instead of anecdotes. Three further sections get
+// their own reports: the multi-node cluster (BENCH_cluster.json), the
+// multi-tenant RECAST overload harness (BENCH_recast.json), and the
+// query read path (BENCH_query.json).
 //
 // Every measurement runs under testing.Benchmark, so ns/op, allocs/op and
 // B/op come from the standard harness. The event sample is produced once
@@ -15,7 +16,8 @@
 //
 //	daspos-bench [-events N] [-seed S] [-workers 1,2,4,8]
 //	             [-out BENCH_pipeline.json] [-cluster-out BENCH_cluster.json]
-//	             [-recast-out BENCH_recast.json] [-recast-requests N] [-short]
+//	             [-recast-out BENCH_recast.json] [-recast-requests N]
+//	             [-query-out BENCH_query.json] [-short]
 package main
 
 import (
@@ -75,6 +77,7 @@ func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output JSON path")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "multi-node benchmark output JSON path (empty disables the section)")
 	recastOut := flag.String("recast-out", "BENCH_recast.json", "RECAST overload benchmark output JSON path (empty disables the section)")
+	queryOut := flag.String("query-out", "BENCH_query.json", "read-path benchmark output JSON path (empty disables the section)")
 	recastRequests := flag.Int("recast-requests", 2000, "mixed-tenant submissions in the RECAST overload section")
 	short := flag.Bool("short", false, "smoke mode: small sample, fewer worker counts")
 	stamp := flag.Int64("stamp", 0, "generated_unix stamp recorded in the report; 0 keeps the report byte-stable across identical runs (pass $(date +%s) to record the real time)")
@@ -165,6 +168,12 @@ func main() {
 
 	if *recastOut != "" {
 		if err := runRecastBench(*recastOut, *recastRequests, *short, *stamp); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *queryOut != "" {
+		if err := runQueryBench(*queryOut, *short, *stamp, *gate); err != nil {
 			log.Fatal(err)
 		}
 	}

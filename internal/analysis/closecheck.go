@@ -34,6 +34,7 @@ var CloseCheck = &Analyzer{
 			"internal/node",
 			"internal/cluster",
 			"internal/eventflow",
+			"internal/queryserve",
 		)(path)
 	},
 	Run: runCloseCheck,

@@ -23,6 +23,7 @@ var CtxProp = &Analyzer{
 		"internal/archive",
 		"internal/node",
 		"internal/cluster",
+		"internal/queryserve",
 	),
 	Run: runCtxProp,
 }

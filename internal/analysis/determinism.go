@@ -29,6 +29,7 @@ var Determinism = &Analyzer{
 		"internal/eventflow",
 		"internal/fourvec",
 		"internal/recast",
+		"internal/queryserve",
 	),
 	Run: runDeterminism,
 }

@@ -14,6 +14,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FileEntry is one file of a dataset.
@@ -72,14 +73,31 @@ var (
 	ErrClosed    = errors.New("catalog: dataset is closed")
 )
 
-// Catalog is the dataset store. Not safe for concurrent mutation.
+// Catalog is the dataset store. It is safe for concurrent use: mutation
+// takes an exclusive lock, reads share one, and every read API hands out
+// copies — a Dataset returned from Get or Query is the caller's to keep,
+// detached from later AddFile/Close mutation. The serving tier reads it
+// under load while production jobs keep registering files.
 type Catalog struct {
+	mu       sync.RWMutex
 	datasets map[string]*Dataset
+	// names mirrors the map keys in sorted order, maintained on Create, so
+	// listings and keyset pagination need no per-call sort.
+	names []string
 }
 
 // New returns an empty catalogue.
 func New() *Catalog {
 	return &Catalog{datasets: make(map[string]*Dataset)}
+}
+
+// insertName splices a new dataset name into the sorted listing. Caller
+// holds the write lock.
+func (c *Catalog) insertName(name string) {
+	at := sort.SearchStrings(c.names, name)
+	c.names = append(c.names, "")
+	copy(c.names[at+1:], c.names[at:])
+	c.names[at] = name
 }
 
 // Create registers a new, open dataset. The parent, when named, must
@@ -91,6 +109,11 @@ func (c *Catalog) Create(d Dataset) error {
 	if d.Tier == "" {
 		return fmt.Errorf("catalog: dataset %q needs a tier", d.Name)
 	}
+	if len(d.Files) != 0 {
+		return fmt.Errorf("catalog: create dataset %q empty, then AddFile", d.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.datasets[d.Name]; dup {
 		return fmt.Errorf("catalog: dataset %q already exists", d.Name)
 	}
@@ -99,18 +122,27 @@ func (c *Catalog) Create(d Dataset) error {
 			return fmt.Errorf("%w: parent %q of %q", ErrNoDataset, d.Parent, d.Name)
 		}
 	}
-	if len(d.Files) != 0 {
-		return fmt.Errorf("catalog: create dataset %q empty, then AddFile", d.Name)
-	}
 	d.Closed = false
+	// Copy the metadata map too: the caller's map must not alias catalogue
+	// state it can mutate outside the lock.
+	if d.Metadata != nil {
+		md := make(map[string]string, len(d.Metadata))
+		for k, v := range d.Metadata {
+			md[k] = v
+		}
+		d.Metadata = md
+	}
 	cp := d
 	c.datasets[d.Name] = &cp
+	c.insertName(d.Name)
 	return nil
 }
 
 // AddFile appends a file to an open dataset. LFNs must be unique within
 // the dataset.
 func (c *Catalog) AddFile(dataset string, f FileEntry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d, ok := c.datasets[dataset]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoDataset, dataset)
@@ -132,6 +164,8 @@ func (c *Catalog) AddFile(dataset string, f FileEntry) error {
 
 // Close freezes a dataset; further AddFile calls fail.
 func (c *Catalog) Close(dataset string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	d, ok := c.datasets[dataset]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoDataset, dataset)
@@ -140,32 +174,72 @@ func (c *Catalog) Close(dataset string) error {
 	return nil
 }
 
+// copyLocked clones a dataset for hand-out. Caller holds at least a read
+// lock.
+func copyLocked(d *Dataset) Dataset {
+	cp := *d
+	cp.Files = append([]FileEntry(nil), d.Files...)
+	if d.Metadata != nil {
+		md := make(map[string]string, len(d.Metadata))
+		for k, v := range d.Metadata {
+			md[k] = v
+		}
+		cp.Metadata = md
+	}
+	return cp
+}
+
 // Get returns a copy of the dataset.
 func (c *Catalog) Get(name string) (Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	d, ok := c.datasets[name]
 	if !ok {
 		return Dataset{}, false
 	}
-	cp := *d
-	cp.Files = append([]FileEntry(nil), d.Files...)
-	return cp, true
+	return copyLocked(d), true
+}
+
+// Len returns the number of registered datasets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.datasets)
 }
 
 // Names returns the sorted dataset names.
 func (c *Catalog) Names() []string {
-	out := make([]string, 0, len(c.datasets))
-	for n := range c.datasets {
-		out = append(out, n)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.names...)
+}
+
+// NamesAfter returns up to limit sorted dataset names strictly greater
+// than after (empty starts at the beginning; limit <= 0 means no bound) —
+// the keyset-pagination primitive: a paginated walk anchored on the last
+// name seen returns every dataset that existed at walk start exactly once
+// regardless of concurrent Create calls.
+func (c *Catalog) NamesAfter(after string, limit int) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	at := sort.SearchStrings(c.names, after)
+	if at < len(c.names) && c.names[at] == after {
+		at++
 	}
-	sort.Strings(out)
-	return out
+	end := len(c.names)
+	if limit > 0 && at+limit < end {
+		end = at + limit
+	}
+	return append([]string(nil), c.names[at:end]...)
 }
 
 // Query returns datasets matching the tier (empty matches all) and every
-// given metadata key/value.
+// given metadata key/value, in sorted name order.
 func (c *Catalog) Query(tier string, metadata map[string]string) []Dataset {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []Dataset
-	for _, name := range c.Names() {
+	for _, name := range c.names {
 		d := c.datasets[name]
 		if tier != "" && d.Tier != tier {
 			continue
@@ -178,16 +252,19 @@ func (c *Catalog) Query(tier string, metadata map[string]string) []Dataset {
 			}
 		}
 		if match {
-			cp, _ := c.Get(name)
-			out = append(out, cp)
+			out = append(out, copyLocked(d))
 		}
 	}
 	return out
 }
 
 // Lineage walks parent links from a dataset to its primary ancestor,
-// returning the chain starting with the dataset itself.
+// returning the chain starting with the dataset itself. The walk runs
+// under one read lock, so it sees a consistent snapshot of the parent
+// graph.
 func (c *Catalog) Lineage(name string) ([]Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	seen := make(map[string]bool)
 	var out []Dataset
 	for name != "" {
@@ -195,11 +272,11 @@ func (c *Catalog) Lineage(name string) ([]Dataset, error) {
 			return nil, fmt.Errorf("catalog: parent cycle at %q", name)
 		}
 		seen[name] = true
-		d, ok := c.Get(name)
+		d, ok := c.datasets[name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNoDataset, name)
 		}
-		out = append(out, d)
+		out = append(out, copyLocked(d))
 		name = d.Parent
 	}
 	return out, nil
@@ -208,8 +285,10 @@ func (c *Catalog) Lineage(name string) ([]Dataset, error) {
 // Children returns the names of datasets directly derived from the given
 // one, sorted.
 func (c *Catalog) Children(name string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []string
-	for _, n := range c.Names() {
+	for _, n := range c.names {
 		if c.datasets[n].Parent == name {
 			out = append(out, n)
 		}
@@ -217,10 +296,13 @@ func (c *Catalog) Children(name string) []string {
 	return out
 }
 
-// WriteJSON persists the catalogue.
+// WriteJSON persists the catalogue. The write happens under a read lock,
+// so concurrent mutation cannot tear the snapshot.
 func (c *Catalog) WriteJSON(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var all []*Dataset
-	for _, n := range c.Names() {
+	for _, n := range c.names {
 		all = append(all, c.datasets[n])
 	}
 	enc := json.NewEncoder(w)
@@ -236,7 +318,11 @@ func ReadJSON(r io.Reader) (*Catalog, error) {
 	}
 	c := New()
 	for _, d := range all {
+		if _, dup := c.datasets[d.Name]; dup {
+			return nil, fmt.Errorf("catalog: duplicate dataset %q on load", d.Name)
+		}
 		c.datasets[d.Name] = d
+		c.insertName(d.Name)
 	}
 	for _, d := range all {
 		if d.Parent != "" {

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"time"
+
+	"daspos/internal/xrand"
+)
+
+// Read-path chaos shapes: a slow/flaky record-store wrapper for the query
+// server's fill path, and a deterministic hot-skewed key schedule for
+// stampede and cache drills. Seed-driven like the rest of the package, so
+// a cache regression found under load replays bit-identically.
+
+// KeyedStore is the shape of a read-path store, expressed generically so
+// this package never imports queryserve (whose chaos tests import this
+// one). Instantiated with hepdata's record type, SlowStore satisfies
+// queryserve.RecordStore structurally.
+type KeyedStore[R any] interface {
+	Get(id string) (R, error)
+}
+
+// SlowStore wraps a record store with injector-driven latency and
+// transient failures — the browned-out backing store the query cache's
+// singleflight and negative-result handling are built around. Operation
+// name for FailNext schedules: "get". Use as
+// faults.SlowStore[*hepdata.Record].
+type SlowStore[R any] struct {
+	Inner KeyedStore[R]
+	Inj   *Injector
+}
+
+// Get serves the read behind injected faults. Unlike the back-end
+// wrapper there is no context: the read path bounds store time with the
+// cache's coalescing, not per-request deadlines, so injected latency is
+// served in full.
+func (s *SlowStore[R]) Get(id string) (R, error) {
+	out := s.Inj.Decide("get")
+	if out.Latency > 0 {
+		time.Sleep(out.Latency)
+	}
+	if out.Err != nil {
+		var zero R
+		return zero, out.Err
+	}
+	return s.Inner.Get(id)
+}
+
+// ReadShape describes one read-workload mix for the query server: a small
+// hot set absorbing most lookups over a long cold tail — the skew that
+// makes an LRU earn its keep and a stampede drill mean something.
+type ReadShape struct {
+	// HotKeys is the small set of keys the hot fraction draws from.
+	HotKeys []string
+	// ColdKeys is the long tail; cold reads draw uniformly from it.
+	ColdKeys []string
+	// HotFraction in [0,1] is the probability a read targets the hot set.
+	// Values outside the range clamp.
+	HotFraction float64
+}
+
+// ReadSchedule expands a shape into a deterministic key sequence of n
+// reads. The same (seed, shape, n) always yields the identical sequence.
+// Keys cycle within the hot set (round-robin through a shuffled order) so
+// every hot key stays hot; cold keys are drawn uniformly with replacement.
+// An empty hot or cold set sends its share of reads to the other.
+func ReadSchedule(seed uint64, shape ReadShape, n int) []string {
+	rng := xrand.New(seed)
+	frac := shape.HotFraction
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	hot := append([]string(nil), shape.HotKeys...)
+	for i := len(hot) - 1; i > 0; i-- {
+		j := int(rng.Uint64n(uint64(i + 1)))
+		hot[i], hot[j] = hot[j], hot[i]
+	}
+	out := make([]string, 0, n)
+	hotAt := 0
+	for i := 0; i < n; i++ {
+		useHot := len(shape.ColdKeys) == 0 ||
+			(len(hot) > 0 && float64(rng.Uint64n(1<<20))/float64(1<<20) < frac)
+		if useHot && len(hot) > 0 {
+			out = append(out, hot[hotAt%len(hot)])
+			hotAt++
+			continue
+		}
+		if len(shape.ColdKeys) == 0 {
+			continue
+		}
+		out = append(out, shape.ColdKeys[rng.Uint64n(uint64(len(shape.ColdKeys)))])
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"daspos/internal/hist"
 )
@@ -203,12 +204,47 @@ func (r *Record) AuxBytes() int {
 	return n
 }
 
+// Clone returns a deep copy of the record: tables, points, error
+// components, and auxiliary payloads all get fresh backing storage, so
+// mutating the original after submission cannot reach archived state.
+func (r *Record) Clone() *Record {
+	cp := *r
+	cp.Tables = make([]Table, len(r.Tables))
+	for i, t := range r.Tables {
+		ct := t
+		ct.Reactions = append([]string(nil), t.Reactions...)
+		ct.Observables = append([]string(nil), t.Observables...)
+		ct.Points = make([]Point, len(t.Points))
+		for j, p := range t.Points {
+			pp := p
+			pp.Errors = append([]Uncertainty(nil), p.Errors...)
+			ct.Points[j] = pp
+		}
+		cp.Tables[i] = ct
+	}
+	if r.Aux != nil {
+		cp.Aux = make(map[string][]byte, len(r.Aux))
+		for k, v := range r.Aux {
+			cp.Aux[k] = append([]byte(nil), v...)
+		}
+	}
+	return &cp
+}
+
 // ErrNoRecord is returned for unknown record IDs.
 var ErrNoRecord = errors.New("hepdata: no such record")
 
-// Archive is the reactions database. Not safe for concurrent mutation.
+// Archive is the reactions database. It is safe for concurrent use: reads
+// take a shared lock, Submit deep-copies the record so later caller-side
+// mutation cannot reach archived state, and returned *Record values are
+// read-only by contract (the serving tier never mutates them).
 type Archive struct {
+	mu      sync.RWMutex
 	records map[string]*Record
+	// ids mirrors the map keys in sorted order, maintained on Submit, so
+	// listings and keyset pagination are O(log n + page) instead of a full
+	// sort per call.
+	ids []string
 }
 
 // NewArchive returns an empty reactions database.
@@ -216,22 +252,38 @@ func NewArchive() *Archive {
 	return &Archive{records: make(map[string]*Record)}
 }
 
-// Submit validates and stores a record.
+// Submit validates and stores a deep copy of the record.
 func (a *Archive) Submit(r *Record) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	if _, dup := a.records[r.ID()]; dup {
-		return fmt.Errorf("hepdata: record %s already submitted", r.ID())
+	id := r.ID()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.records[id]; dup {
+		return fmt.Errorf("hepdata: record %s already submitted", id)
 	}
-	cp := *r
-	a.records[r.ID()] = &cp
+	a.records[id] = r.Clone()
+	at := sort.SearchStrings(a.ids, id)
+	a.ids = append(a.ids, "")
+	copy(a.ids[at+1:], a.ids[at:])
+	a.ids[at] = id
 	return nil
 }
 
-// Get returns a record by archive key ("ins<id>").
+// Len returns the number of archived records.
+func (a *Archive) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.records)
+}
+
+// Get returns a record by archive key ("ins<id>"). The returned record is
+// shared and must not be mutated.
 func (a *Archive) Get(id string) (*Record, error) {
+	a.mu.RLock()
 	r, ok := a.records[id]
+	a.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoRecord, id)
 	}
@@ -254,20 +306,44 @@ func (a *Archive) Table(id, table string) (*Table, error) {
 
 // IDs returns the sorted record keys.
 func (a *Archive) IDs() []string {
-	out := make([]string, 0, len(a.records))
-	for id := range a.records {
-		out = append(out, id)
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]string(nil), a.ids...)
+}
+
+// IDsAfter returns up to limit sorted record keys strictly greater than
+// after (empty starts at the beginning; limit <= 0 means no bound). This
+// is the keyset-pagination primitive: because keys are returned in sorted
+// order from a strictly-greater anchor, a paginated walk sees every record
+// that existed when it started exactly once, no matter how many records
+// are published between pages.
+func (a *Archive) IDsAfter(after string, limit int) []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	at := sort.SearchStrings(a.ids, after)
+	// SearchStrings finds the leftmost insertion point; skip an exact match
+	// so the anchor itself is excluded.
+	if at < len(a.ids) && a.ids[at] == after {
+		at++
 	}
-	sort.Strings(out)
-	return out
+	end := len(a.ids)
+	if limit > 0 && at+limit < end {
+		end = at + limit
+	}
+	return append([]string(nil), a.ids[at:end]...)
 }
 
 // Search matches records whose title, collaboration, abstract, reactions,
-// or observables contain the query (case-insensitive).
+// or observables contain the query (case-insensitive). Results come back
+// in record-key order, so the listing is deterministic. This is the linear
+// scan the queryserve inverted index replaces on the serving path; it
+// remains the reference implementation and the benchmark baseline.
 func (a *Archive) Search(query string) []*Record {
 	q := strings.ToLower(query)
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	var out []*Record
-	for _, id := range a.IDs() {
+	for _, id := range a.ids {
 		r := a.records[id]
 		hay := strings.ToLower(r.Title + " " + r.Collaboration + " " + r.Abstract)
 		for _, t := range r.Tables {

@@ -1,0 +1,85 @@
+package queryserve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"daspos/internal/catalog"
+	"daspos/internal/hepdata"
+)
+
+// ETags are derived from content digests, never from mtimes or serving
+// state: the ETag of a record is the sha256 of its canonical submission
+// JSON, so it is identical on every node serving the same archived bytes,
+// survives restarts and rebuilds, and changes exactly when the content
+// does. Derived resources (exports, search pages) extend the content
+// digest with the parameters that shape the response, so a format or query
+// change busts caches while a re-request of the same bytes revalidates.
+
+// RecordETag digests a record's canonical submission encoding.
+func RecordETag(r *hepdata.Record) (string, error) {
+	data, err := hepdata.EncodeRecord(r)
+	if err != nil {
+		return "", fmt.Errorf("queryserve: etag for %s: %w", r.ID(), err)
+	}
+	return digestETag(data), nil
+}
+
+// DatasetETag digests a dataset's canonical JSON encoding. encoding/json
+// emits map keys in sorted order, so the metadata map cannot perturb the
+// digest.
+func DatasetETag(d *catalog.Dataset) (string, error) {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return "", fmt.Errorf("queryserve: etag for dataset %s: %w", d.Name, err)
+	}
+	return digestETag(data), nil
+}
+
+// DerivedETag extends a content ETag with the parameters of a derived
+// response (an export format, a search shape), producing a new strong
+// validator that changes when either the content or the derivation does.
+func DerivedETag(base string, params ...string) string {
+	h := sha256.New()
+	h.Write([]byte(strings.Trim(base, `"`)))
+	for _, p := range params {
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+	}
+	return quoteDigest(h.Sum(nil))
+}
+
+func digestETag(data []byte) string {
+	sum := sha256.Sum256(data)
+	return quoteDigest(sum[:])
+}
+
+// quoteDigest renders a strong ETag: the first 16 digest bytes, hex, in
+// the RFC 9110 quoted form.
+func quoteDigest(sum []byte) string {
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a literal "*"
+// matches any current representation, otherwise any listed validator must
+// equal the current one (weak prefixes are ignored for the byte-serving
+// GET case).
+func etagMatches(header, current string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" {
+			return true
+		}
+		part = strings.TrimPrefix(part, "W/")
+		if part == current {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package queryserve
+
+import (
+	"strings"
+	"testing"
+
+	"daspos/internal/hepdata"
+)
+
+// FuzzIndexSearchRoundTrip publishes a record built from fuzzed strings
+// and checks the index round-trip invariant: every term the indexer
+// derived from the record finds it again, in both AND and OR mode, and
+// the hit carries the publish-time ETag.
+func FuzzIndexSearchRoundTrip(f *testing.F) {
+	f.Add("1234567", "Search for exotic resonances", "ATLAS", "P P --> ZPRIME X", "DSIG/DPT", 2015)
+	f.Add("1", "", "", "", "", 0)
+	f.Add("9999999", "Ünïcode & symbols: ++--", "DASPOS-GPD", "E+ E- --> HADRONS", "SIG", 1999)
+	f.Add("42", strings.Repeat("boson ", 50), "CMS", "", "", 2030)
+	f.Fuzz(func(t *testing.T, inspire, title, collab, reaction, obs string, year int) {
+		if inspire == "" || strings.ContainsAny(inspire, " \x00") {
+			t.Skip()
+		}
+		rec := &hepdata.Record{
+			InspireID:     inspire,
+			Title:         title,
+			Collaboration: collab,
+			Year:          year,
+			Tables: []hepdata.Table{{
+				Name:   "T1",
+				Points: []hepdata.Point{{X: 1, Y: 2}},
+			}},
+		}
+		if reaction != "" {
+			rec.Tables[0].Reactions = []string{reaction}
+		}
+		if obs != "" {
+			rec.Tables[0].Observables = []string{obs}
+		}
+		etag, err := RecordETag(rec)
+		if err != nil {
+			t.Skip() // records json.Marshal rejects aren't indexable
+		}
+		x := NewIndex()
+		if err := x.AddRecord(rec, etag); err != nil {
+			t.Fatalf("AddRecord: %v", err)
+		}
+		key := "ins" + inspire
+		doc, ok := x.Lookup(key)
+		if !ok {
+			t.Fatalf("published record %q not in index", key)
+		}
+		if doc.ETag != etag {
+			t.Fatalf("index ETag %q != publish ETag %q", doc.ETag, etag)
+		}
+		for _, term := range recordTerms(rec) {
+			for _, mode := range []Mode{And, Or} {
+				hits := x.Search([]string{term}, mode, -1)
+				found := false
+				for _, h := range hits {
+					if h.Key == key {
+						if h.ETag != etag {
+							t.Fatalf("term %q: hit ETag mismatch", term)
+						}
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("term %q derived from record but search missed it (mode %d)", term, mode)
+				}
+			}
+		}
+		// A term the record cannot contain never matches it alone.
+		if hits := x.Search([]string{"t:zzzznothere"}, And, -1); len(hits) != 0 {
+			t.Fatalf("phantom term matched: %+v", hits)
+		}
+	})
+}

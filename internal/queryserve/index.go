@@ -1,0 +1,471 @@
+// Package queryserve is the read tier of the archive: the serving layer
+// HEPData-style traffic lands on. It holds an inverted index with sorted
+// posting lists over HepData records and catalogue datasets (search by
+// reaction, observable, INSPIRE id, keyword, tier, version, metadata), a
+// sharded LRU cache with singleflight request coalescing in front of the
+// record store, and an HTTP API with conditional GETs (ETags derived from
+// content digests), streamed multi-format export, and keyset pagination
+// whose cursors stay stable under concurrent publishes.
+package queryserve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"daspos/internal/catalog"
+	"daspos/internal/hepdata"
+)
+
+// DocKind distinguishes the two document classes the index serves.
+type DocKind uint8
+
+// The document kinds.
+const (
+	KindRecord DocKind = iota
+	KindDataset
+)
+
+// String renders the kind for listings and cursors.
+func (k DocKind) String() string {
+	if k == KindDataset {
+		return "dataset"
+	}
+	return "record"
+}
+
+// Doc is one indexed document: a HepData record or a catalogue dataset.
+// The index stores only the discovery surface — key, content ETag, and a
+// display title — never the body; bodies come from the record store
+// through the cache.
+type Doc struct {
+	Kind  DocKind `json:"kind"`
+	Key   string  `json:"key"`
+	ETag  string  `json:"etag"`
+	Title string  `json:"title,omitempty"`
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Doc
+	// Score ranks the hit: the sum of rarity weights of the query terms it
+	// matched. Ties order by key, so a result page is total-ordered and a
+	// cursor anchored on (score, key) is unambiguous.
+	Score int32
+}
+
+// Mode selects the query combinator.
+type Mode uint8
+
+// The query modes: And requires every term, Or any.
+const (
+	And Mode = iota
+	Or
+)
+
+// ParseMode reads a query-string mode value; empty defaults to And.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "and":
+		return And, nil
+	case "or":
+		return Or, nil
+	}
+	return And, fmt.Errorf("queryserve: unknown mode %q (want and|or)", s)
+}
+
+// Index is the inverted index: for every term, the sorted list of internal
+// doc ids that contain it. It is safe for concurrent use; searches run
+// under a shared lock while publishes append. Doc ids are assigned in
+// publish order, so posting lists stay sorted by construction — appending
+// a new document only ever appends to lists.
+type Index struct {
+	mu       sync.RWMutex
+	docs     []Doc
+	byKey    map[string]int32
+	postings map[string][]int32
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		byKey:    make(map[string]int32),
+		postings: make(map[string][]int32),
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (x *Index) Docs() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.docs)
+}
+
+// Terms returns the number of distinct terms.
+func (x *Index) Terms() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.postings)
+}
+
+// Tokenize lowercases the text and splits it into alphanumeric runs,
+// dropping single-character fragments. It is the one tokenizer for both
+// indexing and query parsing, so a term always round-trips: anything
+// Tokenize emits at publish time, a query containing the same text
+// searches for.
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	lower := strings.ToLower(s)
+	for i, r := range lower {
+		alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if alnum && start < 0 {
+			start = i
+		}
+		if !alnum && start >= 0 {
+			if i-start > 1 {
+				out = append(out, lower[start:i])
+			}
+			start = -1
+		}
+	}
+	if start >= 0 && len(lower)-start > 1 {
+		out = append(out, lower[start:])
+	}
+	return out
+}
+
+// canon collapses a field value to its exact-match form: lowercased with
+// all whitespace removed, so "P P --> Z0 X" and "p p-->z0 x" name the same
+// reaction term.
+func canon(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), "")
+}
+
+// recordTerms derives the term set of a record. Field terms carry a
+// namespace prefix ("reaction:", "obs:", "inspire:", "collab:", "year:");
+// free text from the title, abstract, collaboration, table names, and
+// reaction strings lands as bare tokens under "t:".
+func recordTerms(r *hepdata.Record) []string {
+	set := make(map[string]struct{})
+	add := func(t string) {
+		if t != "" {
+			set[t] = struct{}{}
+		}
+	}
+	addText := func(s string) {
+		for _, tok := range Tokenize(s) {
+			add("t:" + tok)
+		}
+	}
+	add("inspire:" + strings.ToLower(r.InspireID))
+	add("collab:" + canon(r.Collaboration))
+	if r.Year != 0 {
+		add("year:" + strconv.Itoa(r.Year))
+	}
+	addText(r.Title)
+	addText(r.Abstract)
+	addText(r.Collaboration)
+	for i := range r.Tables {
+		t := &r.Tables[i]
+		addText(t.Name)
+		for _, re := range t.Reactions {
+			add("reaction:" + canon(re))
+			addText(re)
+		}
+		for _, ob := range t.Observables {
+			add("obs:" + canon(ob))
+			addText(ob)
+		}
+	}
+	return sortedTerms(set)
+}
+
+// datasetTerms derives the term set of a dataset: tier, processing
+// version, conditions tag, parent, metadata key/value pairs, and the path
+// segments of the dataset name as free tokens.
+func datasetTerms(d *catalog.Dataset) []string {
+	set := make(map[string]struct{})
+	add := func(t string) {
+		if t != "" {
+			set[t] = struct{}{}
+		}
+	}
+	add("tier:" + canon(d.Tier))
+	if d.ProcessingVersion != "" {
+		add("version:" + canon(d.ProcessingVersion))
+	}
+	if d.ConditionsTag != "" {
+		add("conditions:" + canon(d.ConditionsTag))
+	}
+	if d.Parent != "" {
+		add("parent:" + strings.ToLower(d.Parent))
+	}
+	for k, v := range d.Metadata {
+		add("meta:" + canon(k) + "=" + canon(v))
+	}
+	for _, tok := range Tokenize(d.Name) {
+		add("t:" + tok)
+	}
+	return sortedTerms(set)
+}
+
+func sortedTerms(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddRecord indexes a record under its content ETag. The record must not
+// already be indexed.
+func (x *Index) AddRecord(r *hepdata.Record, etag string) error {
+	return x.add(Doc{Kind: KindRecord, Key: r.ID(), ETag: etag, Title: r.Title}, recordTerms(r))
+}
+
+// AddDataset indexes a dataset under its content ETag.
+func (x *Index) AddDataset(d *catalog.Dataset, etag string) error {
+	return x.add(Doc{Kind: KindDataset, Key: d.Name, ETag: etag, Title: d.Tier + " " + d.ProcessingVersion}, datasetTerms(d))
+}
+
+func (x *Index) add(doc Doc, terms []string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, dup := x.byKey[doc.Key]; dup {
+		return fmt.Errorf("queryserve: %s %q already indexed", doc.Kind, doc.Key)
+	}
+	id := int32(len(x.docs))
+	x.docs = append(x.docs, doc)
+	x.byKey[doc.Key] = id
+	for _, t := range terms {
+		x.postings[t] = append(x.postings[t], id)
+	}
+	return nil
+}
+
+// ParseQuery splits a query string into index terms. Whitespace-separated
+// words that carry a field prefix ("reaction:p p-->z0 x" must be
+// URL-encoded into one word; "tier:AOD", "meta:campaign=mc23") are kept as
+// canonical field terms; everything else is tokenized into bare "t:"
+// tokens. An empty result means "match nothing" for search — listings go
+// through the keyset walk instead.
+func ParseQuery(q string) []string {
+	var terms []string
+	for _, w := range strings.Fields(q) {
+		if at := strings.IndexByte(w, ':'); at > 0 {
+			field := strings.ToLower(w[:at])
+			val := w[at+1:]
+			switch field {
+			case "inspire", "parent":
+				terms = append(terms, field+":"+strings.ToLower(val))
+				continue
+			case "reaction", "obs", "collab", "tier", "version", "conditions", "year":
+				terms = append(terms, field+":"+canon(val))
+				continue
+			case "meta":
+				k, v, _ := strings.Cut(val, "=")
+				terms = append(terms, "meta:"+canon(k)+"="+canon(v))
+				continue
+			}
+		}
+		for _, tok := range Tokenize(w) {
+			terms = append(terms, "t:"+tok)
+		}
+	}
+	sort.Strings(terms)
+	return dedupeSorted(terms)
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// termWeight scores a matched term. Field terms (an exact reaction, an
+// INSPIRE id, a tier) outrank free-text tokens. The weight depends only on
+// the term itself — never on corpus statistics like document frequency —
+// so a document's score for a fixed query is immutable once published,
+// which is what keeps ranked-search pagination cursors stable while
+// publishes land between pages.
+func termWeight(t string) int32 {
+	if strings.HasPrefix(t, "t:") {
+		return 1
+	}
+	return 4
+}
+
+// Search runs the parsed terms through the index: And intersects the
+// posting lists (galloping through the shortest), Or merges them counting
+// matched weight. Results are ranked by (score desc, key asc) — a total
+// order, so pagination cursors are unambiguous. kind restricts results to
+// one document class; pass a negative value for both.
+func (x *Index) Search(terms []string, mode Mode, kind int) []Hit {
+	if len(terms) == 0 {
+		return nil
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	var hits []Hit
+	if mode == And {
+		lists := make([][]int32, 0, len(terms))
+		var score int32
+		for _, t := range terms {
+			p := x.postings[t]
+			if len(p) == 0 {
+				return nil // one empty list empties the intersection
+			}
+			score += termWeight(t)
+			lists = append(lists, p)
+		}
+		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+		for _, id := range intersect(lists) {
+			hits = append(hits, Hit{Doc: x.docs[id], Score: score})
+		}
+	} else {
+		scores := make(map[int32]int32)
+		for _, t := range terms {
+			p := x.postings[t]
+			w := termWeight(t)
+			for _, id := range p {
+				scores[id] += w
+			}
+		}
+		hits = make([]Hit, 0, len(scores))
+		for id, s := range scores {
+			hits = append(hits, Hit{Doc: x.docs[id], Score: s})
+		}
+	}
+	if kind >= 0 {
+		kept := hits[:0]
+		for _, h := range hits {
+			if h.Kind == DocKind(kind) {
+				kept = append(kept, h)
+			}
+		}
+		hits = kept
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Key < hits[j].Key
+	})
+	return hits
+}
+
+// intersect computes the intersection of sorted posting lists, seeded from
+// the shortest list and advancing through the others by galloping binary
+// search — sublinear in the long lists, which is where a big corpus spends
+// its time.
+func intersect(lists [][]int32) []int32 {
+	out := append([]int32(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		kept := out[:0]
+		lo := 0
+		for _, id := range out {
+			at := lo + sort.Search(len(l)-lo, func(i int) bool { return l[lo+i] >= id })
+			if at < len(l) && l[at] == id {
+				kept = append(kept, id)
+			}
+			lo = at
+			if lo >= len(l) {
+				break
+			}
+		}
+		out = kept
+		if len(out) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Lookup returns the indexed doc for a key.
+func (x *Index) Lookup(key string) (Doc, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	id, ok := x.byKey[key]
+	if !ok {
+		return Doc{}, false
+	}
+	return x.docs[id], true
+}
+
+// Rebuild constructs the index deterministically from the stores: records
+// in sorted id order, then datasets in sorted name order. Two rebuilds
+// over the same store contents produce byte-identical Dump output, and a
+// rebuilt index answers every query identically to one grown publish by
+// publish — the property the round-trip tests pin.
+func Rebuild(archive *hepdata.Archive, cat *catalog.Catalog) (*Index, error) {
+	x := NewIndex()
+	if archive != nil {
+		for _, id := range archive.IDs() {
+			r, err := archive.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			etag, err := RecordETag(r)
+			if err != nil {
+				return nil, err
+			}
+			if err := x.AddRecord(r, etag); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cat != nil {
+		for _, name := range cat.Names() {
+			d, ok := cat.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("queryserve: dataset %q vanished during rebuild", name)
+			}
+			etag, err := DatasetETag(&d)
+			if err != nil {
+				return nil, err
+			}
+			if err := x.AddDataset(&d, etag); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return x, nil
+}
+
+// Dump writes a deterministic textual image of the index — every doc in id
+// order, every term in sorted order with its posting list — used to prove
+// rebuild determinism and debug ranking.
+func (x *Index) Dump(w io.Writer) error {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	for i, d := range x.docs {
+		if _, err := fmt.Fprintf(w, "doc %d %s %s etag=%s\n", i, d.Kind, d.Key, d.ETag); err != nil {
+			return err
+		}
+	}
+	terms := make([]string, 0, len(x.postings))
+	for t := range x.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		ids := x.postings[t]
+		b := make([]string, len(ids))
+		for i, id := range ids {
+			b[i] = strconv.Itoa(int(id))
+		}
+		if _, err := fmt.Fprintf(w, "term %s -> %s\n", t, strings.Join(b, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

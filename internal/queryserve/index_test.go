@@ -1,0 +1,262 @@
+package queryserve
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"daspos/internal/catalog"
+	"daspos/internal/hepdata"
+	"daspos/internal/xrand"
+)
+
+// testRecord builds a deterministic record; i varies the discovery
+// surface so records are distinguishable by search.
+func testRecord(i int) *hepdata.Record {
+	reactions := []string{"P P --> Z0 X", "P P --> W+ X", "P P --> ZPRIME X", "P P --> H0 X"}
+	observables := []string{"DSIG/DPT", "SIG", "EFF", "DSIG/DM"}
+	collabs := []string{"DASPOS-GPD", "ATLAS", "CMS"}
+	return &hepdata.Record{
+		InspireID:     fmt.Sprintf("%07d", 1000000+i),
+		Title:         fmt.Sprintf("Measurement %d of boson production", i),
+		Collaboration: collabs[i%len(collabs)],
+		Year:          2010 + i%10,
+		Abstract:      "Differential cross sections at the LHC.",
+		Tables: []hepdata.Table{{
+			Name:        "Table1",
+			XHeader:     "PT [GEV]",
+			YHeader:     "DSIG/DPT [PB/GEV]",
+			Reactions:   []string{reactions[i%len(reactions)]},
+			Observables: []string{observables[i%len(observables)]},
+			Points: []hepdata.Point{
+				{X: 5, XLo: 0, XHi: 10, Y: 12.5, Errors: []hepdata.Uncertainty{{Label: "stat", Plus: 0.4, Minus: 0.4}}},
+				{X: 15, XLo: 10, XHi: 20, Y: 3.25},
+			},
+		}},
+	}
+}
+
+func testDataset(i int) *catalog.Dataset {
+	tiers := []string{"RAW", "AOD", "SKIM"}
+	return &catalog.Dataset{
+		Name:              fmt.Sprintf("/mc/sample%02d/%s/v%d", i, tiers[i%3], 1+i%4),
+		Tier:              tiers[i%3],
+		ProcessingVersion: fmt.Sprintf("v%d", 1+i%4),
+		Metadata:          map[string]string{"campaign": fmt.Sprintf("mc%d", 20+i%3)},
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Measurement of the Z-boson PT at 7 TeV (2013)!")
+	want := []string{"measurement", "of", "the", "boson", "pt", "at", "tev", "2013"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens %v want %v", got, want)
+	}
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("empty input tokenized to %v", toks)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	terms := ParseQuery("reaction:PP-->Z0X boson obs:SIG meta:campaign=mc23 tier:AOD")
+	want := []string{"meta:campaign=mc23", "obs:sig", "reaction:pp-->z0x", "t:boson", "tier:aod"}
+	if !reflect.DeepEqual(terms, want) {
+		t.Fatalf("terms %v want %v", terms, want)
+	}
+	if got := ParseQuery(""); len(got) != 0 {
+		t.Fatalf("empty query parsed to %v", got)
+	}
+}
+
+func TestSearchAndOr(t *testing.T) {
+	x := NewIndex()
+	for i := 0; i < 12; i++ {
+		r := testRecord(i)
+		etag, err := RecordETag(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := x.AddRecord(r, etag); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// reaction cycles with period 4: records 2, 6, 10 carry ZPRIME.
+	hits := x.Search(ParseQuery("reaction:PP-->ZPRIMEX"), And, -1)
+	if len(hits) != 3 {
+		t.Fatalf("zprime hits: %d", len(hits))
+	}
+	for i, want := range []string{"ins1000002", "ins1000006", "ins1000010"} {
+		if hits[i].Key != want {
+			t.Fatalf("hit %d = %s want %s (order must be deterministic)", i, hits[i].Key, want)
+		}
+	}
+	// AND with a term nothing matches is empty.
+	if got := x.Search(ParseQuery("reaction:PP-->ZPRIMEX warpdrive"), And, -1); len(got) != 0 {
+		t.Fatalf("impossible AND matched %d", len(got))
+	}
+	// OR unions and ranks multi-term matches above single-term ones:
+	// record 2 matches both the reaction field term and the year.
+	or := x.Search(ParseQuery("reaction:PP-->ZPRIMEX year:2012"), Or, -1)
+	if len(or) != 3 {
+		t.Fatalf("or hits: %d", len(or))
+	}
+	if or[0].Key != "ins1000002" || or[0].Score <= or[1].Score {
+		t.Fatalf("ranking: %+v", or)
+	}
+}
+
+func TestSearchKindFilter(t *testing.T) {
+	x := NewIndex()
+	r := testRecord(0)
+	etag, _ := RecordETag(r)
+	if err := x.AddRecord(r, etag); err != nil {
+		t.Fatal(err)
+	}
+	d := testDataset(0)
+	de, _ := DatasetETag(d)
+	if err := x.AddDataset(d, de); err != nil {
+		t.Fatal(err)
+	}
+	// "mc" appears only in the dataset path; kind filters partition.
+	if got := x.Search(ParseQuery("tier:RAW"), And, int(KindRecord)); len(got) != 0 {
+		t.Fatalf("record-kind search matched dataset: %+v", got)
+	}
+	if got := x.Search(ParseQuery("tier:RAW"), And, int(KindDataset)); len(got) != 1 {
+		t.Fatalf("dataset search: %+v", got)
+	}
+	if _, ok := x.Lookup("ins1000000"); !ok {
+		t.Fatal("lookup missed")
+	}
+	if err := x.AddRecord(r, etag); err == nil {
+		t.Fatal("duplicate index add accepted")
+	}
+}
+
+// TestRebuildDeterministic pins the index rebuild contract: two rebuilds
+// from the same stores dump byte-identically, and an index grown publish
+// by publish in arbitrary order answers every query the same way.
+func TestRebuildDeterministic(t *testing.T) {
+	archive := hepdata.NewArchive()
+	cat := catalog.New()
+	var queries [][]string
+	for i := 0; i < 20; i++ {
+		if err := archive.Submit(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		d := testDataset(i)
+		if err := cat.Create(*d); err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries,
+			ParseQuery("inspire:"+testRecord(i).InspireID),
+			ParseQuery("tier:"+d.Tier),
+			ParseQuery("boson measurement"),
+		)
+	}
+	x1, err := Rebuild(archive, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Rebuild(archive, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d1, d2 bytes.Buffer
+	if err := x1.Dump(&d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := x2.Dump(&d2); err != nil {
+		t.Fatal(err)
+	}
+	if d1.String() != d2.String() {
+		t.Fatal("two rebuilds dumped differently")
+	}
+
+	// Incremental build in shuffled publish order.
+	inc := NewIndex()
+	order := xrand.New(7).Perm(20)
+	for _, i := range order {
+		r := testRecord(i)
+		etag, _ := RecordETag(r)
+		if err := inc.AddRecord(r, etag); err != nil {
+			t.Fatal(err)
+		}
+		d := testDataset(i)
+		de, _ := DatasetETag(d)
+		if err := inc.AddDataset(d, de); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range queries {
+		for _, mode := range []Mode{And, Or} {
+			a := x1.Search(q, mode, -1)
+			b := inc.Search(q, mode, -1)
+			if len(a) != len(b) {
+				t.Fatalf("query %v mode %d: rebuild %d hits, incremental %d", q, mode, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Key != b[i].Key || a[i].Score != b[i].Score || a[i].ETag != b[i].ETag {
+					t.Fatalf("query %v hit %d: rebuild %+v incremental %+v", q, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, c := range []Cursor{{}, {Score: 7, Key: "ins123"}, {Score: -1, Key: "/mc/a/AOD/v1"}} {
+		got, err := DecodeCursor(c.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c {
+			t.Fatalf("round trip %+v -> %+v", c, got)
+		}
+	}
+	if _, err := DecodeCursor("!!not-base64!!"); err == nil {
+		t.Fatal("garbage cursor decoded")
+	}
+	if _, err := DecodeCursor("djk"); err == nil { // valid base64, wrong layout
+		t.Fatal("malformed cursor decoded")
+	}
+	// Cursor ordering: after means strictly later in (score desc, key asc).
+	c := Cursor{Score: 5, Key: "m"}
+	if c.After(5, "m") || c.After(5, "a") || c.After(6, "z") {
+		t.Fatal("After admitted non-later positions")
+	}
+	if !c.After(5, "n") || !c.After(4, "a") {
+		t.Fatal("After rejected later positions")
+	}
+}
+
+func TestETagStability(t *testing.T) {
+	r := testRecord(3)
+	e1, err := RecordETag(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := RecordETag(testRecord(3))
+	if e1 != e2 {
+		t.Fatal("identical content produced different ETags")
+	}
+	if !strings.HasPrefix(e1, `"`) || !strings.HasSuffix(e1, `"`) {
+		t.Fatalf("ETag not quoted: %s", e1)
+	}
+	mut := testRecord(3)
+	mut.Title += "!"
+	e3, _ := RecordETag(mut)
+	if e3 == e1 {
+		t.Fatal("content change kept the ETag")
+	}
+	if DerivedETag(e1, "export", "csv") == DerivedETag(e1, "export", "json") {
+		t.Fatal("derivation params did not split the ETag")
+	}
+	if !etagMatches(e1, e1) || !etagMatches("*", e1) || !etagMatches(`W/`+e1+`, "zz"`, e1) {
+		t.Fatal("etagMatches rejected a valid validator")
+	}
+	if etagMatches(`"other"`, e1) || etagMatches("", e1) {
+		t.Fatal("etagMatches accepted a stale validator")
+	}
+}

@@ -1,0 +1,174 @@
+package queryserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func walkPages(t *testing.T, h http.Handler, base string, limit int) []string {
+	t.Helper()
+	var keys []string
+	sep := "?"
+	if strings.Contains(base, "?") {
+		sep = "&"
+	}
+	cursor := ""
+	for {
+		target := fmt.Sprintf("%s%slimit=%d", base, sep, limit)
+		if cursor != "" {
+			target += "&cursor=" + cursor
+		}
+		w := doReq(t, h, "GET", target, nil)
+		if w.Code != 200 {
+			t.Fatalf("page %q: status %d: %s", target, w.Code, w.Body)
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range resp.Results {
+			keys = append(keys, r.Key)
+		}
+		if resp.NextCursor == "" {
+			return keys
+		}
+		cursor = resp.NextCursor
+	}
+}
+
+func TestPaginationListing(t *testing.T) {
+	srv, _ := newTestServer(t, 23)
+	h := srv.Handler()
+	keys := walkPages(t, h, "/records", 5)
+	if len(keys) != 23 {
+		t.Fatalf("walk returned %d keys", len(keys))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("key %s returned twice", k)
+		}
+		seen[k] = true
+		if k <= prev {
+			t.Fatalf("listing out of order: %s after %s", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestPaginationSearch(t *testing.T) {
+	srv, _ := newTestServer(t, 30)
+	h := srv.Handler()
+	// Every record matches t:boson; page through the ranked results.
+	keys := walkPages(t, h, "/records?q=boson", 7)
+	if len(keys) != 30 {
+		t.Fatalf("ranked walk returned %d keys", len(keys))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("ranked walk repeated %s", k)
+		}
+		seen[k] = true
+	}
+	// A whole-set query in one page agrees with the paginated union.
+	all := walkPages(t, h, "/records?q=boson", 100)
+	if len(all) != 30 {
+		t.Fatalf("single page: %d", len(all))
+	}
+	for i, k := range all {
+		if keys[i] != k {
+			t.Fatalf("page seams reordered results at %d: %s vs %s", i, keys[i], k)
+		}
+	}
+}
+
+// TestPaginationUnderConcurrentPublish is the acceptance-criteria walk: a
+// paginated scan interleaved with publishes must return every record that
+// existed before the walk started exactly once. Run with -race.
+func TestPaginationUnderConcurrentPublish(t *testing.T) {
+	const preexisting = 40
+	srv, _ := newTestServer(t, preexisting)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	// Concurrent writer: a bounded burst of publishes interleaved with the
+	// walks. Bounded, because every new key sorts after the walk cursor —
+	// an unbounded writer would keep extending the tail the walk chases.
+	const published = 120
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 100; i < 100+published; i++ {
+			if _, err := srv.PublishRecord(testRecord(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	walk := func(base string) map[string]int {
+		counts := map[string]int{}
+		sep := "?"
+		if strings.Contains(base, "?") {
+			sep = "&"
+		}
+		cursor := ""
+		for {
+			target := base + sep + "limit=3"
+			if cursor != "" {
+				target += "&cursor=" + cursor
+			}
+			resp, err := http.Get(hts.URL + target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sr searchResponse
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range sr.Results {
+				counts[r.Key]++
+			}
+			if sr.NextCursor == "" {
+				return counts
+			}
+			cursor = sr.NextCursor
+		}
+	}
+
+	listCounts := walk("/records")
+	searchCounts := walk("/records?q=boson")
+	wg.Wait()
+
+	for i := 0; i < preexisting; i++ {
+		id := "ins" + testRecord(i).InspireID
+		if listCounts[id] != 1 {
+			t.Fatalf("listing walk saw pre-existing %s %d times", id, listCounts[id])
+		}
+		if searchCounts[id] != 1 {
+			t.Fatalf("search walk saw pre-existing %s %d times", id, searchCounts[id])
+		}
+	}
+	for k, n := range listCounts {
+		if n != 1 {
+			t.Fatalf("listing walk repeated %s (%d times)", k, n)
+		}
+	}
+	for k, n := range searchCounts {
+		if n != 1 {
+			t.Fatalf("search walk repeated %s (%d times)", k, n)
+		}
+	}
+}

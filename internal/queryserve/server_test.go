@@ -1,0 +1,330 @@
+package queryserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"daspos/internal/catalog"
+	"daspos/internal/hepdata"
+)
+
+// countingStore counts reads through to the archive and can hold them
+// open, so tests can prove what the cache absorbed.
+type countingStore struct {
+	inner RecordStore
+	reads atomic.Int64
+	gate  chan struct{} // when non-nil, every read blocks until closed
+}
+
+func (c *countingStore) Get(id string) (*hepdata.Record, error) {
+	c.reads.Add(1)
+	if c.gate != nil {
+		<-c.gate
+	}
+	return c.inner.Get(id)
+}
+
+func newTestServer(t *testing.T, nrecords int) (*Server, *countingStore) {
+	t.Helper()
+	archive := hepdata.NewArchive()
+	cat := catalog.New()
+	cs := &countingStore{inner: archive}
+	srv, err := NewServer(Config{Archive: archive, Catalog: cat, Store: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nrecords; i++ {
+		if _, err := srv.PublishRecord(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv, cs
+}
+
+func doReq(t *testing.T, h http.Handler, method, target string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, target, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestRecordConditionalGet(t *testing.T) {
+	srv, cs := newTestServer(t, 4)
+	h := srv.Handler()
+
+	w := doReq(t, h, "GET", "/records/ins1000002", nil)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	etag := w.Header().Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("etag %q", etag)
+	}
+	var rec hepdata.Record
+	if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.InspireID != "1000002" {
+		t.Fatalf("record: %+v", rec)
+	}
+
+	// Conditional revalidation: 304, ETag echoed, zero body bytes.
+	w304 := doReq(t, h, "GET", "/records/ins1000002", map[string]string{"If-None-Match": etag})
+	if w304.Code != http.StatusNotModified {
+		t.Fatalf("status %d", w304.Code)
+	}
+	if w304.Body.Len() != 0 {
+		t.Fatalf("304 wrote %d body bytes", w304.Body.Len())
+	}
+	if w304.Header().Get("ETag") != etag {
+		t.Fatal("304 lost the validator")
+	}
+	// A stale validator serves the full body again.
+	wStale := doReq(t, h, "GET", "/records/ins1000002", map[string]string{"If-None-Match": `"stale"`})
+	if wStale.Code != 200 || wStale.Body.Len() == 0 {
+		t.Fatalf("stale revalidation: %d", wStale.Code)
+	}
+	// The two full bodies came from one store read: the second was a cache hit.
+	if got := cs.reads.Load(); got != 1 {
+		t.Fatalf("store reads: %d, want 1", got)
+	}
+	if srv.Stats().NotModified != 1 || srv.Stats().Cache.Hits < 1 {
+		t.Fatalf("stats: %+v", srv.Stats())
+	}
+
+	if w := doReq(t, h, "GET", "/records/ins999", nil); w.Code != 404 {
+		t.Fatalf("missing record: %d", w.Code)
+	}
+}
+
+// TestStampedeSingleStoreRead is the acceptance-criteria stampede proof at
+// the serving layer: N concurrent cold requests for one record perform
+// exactly one store read, and every caller gets the full body.
+func TestStampedeSingleStoreRead(t *testing.T) {
+	srv, cs := newTestServer(t, 2)
+	cs.gate = make(chan struct{})
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	bodies := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(hts.URL + "/records/ins1000001")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var rec hepdata.Record
+			if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+				errs <- err
+				return
+			}
+			bodies <- len(rec.Tables)
+		}()
+	}
+	// Wait until the one fill is in flight and the rest have coalesced
+	// behind it, then open the gate.
+	for srv.Stats().Cache.Coalesced < n-1 {
+		if cs.reads.Load() > 1 {
+			t.Fatalf("multiple store reads in flight: %d", cs.reads.Load())
+		}
+	}
+	close(cs.gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := cs.reads.Load(); got != 1 {
+		t.Fatalf("stampede of %d requests performed %d store reads, want exactly 1", n, got)
+	}
+	for i := 0; i < n; i++ {
+		if nt := <-bodies; nt != 1 {
+			t.Fatalf("caller %d saw %d tables", i, nt)
+		}
+	}
+	st := srv.Stats()
+	if st.Cache.Misses != 1 || st.Cache.Coalesced != n-1 {
+		t.Fatalf("cache stats: %+v", st.Cache)
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t, 12)
+	h := srv.Handler()
+
+	w := doReq(t, h, "GET", "/records?q=reaction:PP-->ZPRIMEX", nil)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 3 || len(resp.Results) != 3 {
+		t.Fatalf("resp: %+v", resp)
+	}
+	if resp.Results[0].Key != "ins1000002" || resp.Results[0].ETag == "" {
+		t.Fatalf("first hit: %+v", resp.Results[0])
+	}
+	// The page revalidates.
+	etag := w.Header().Get("ETag")
+	if w304 := doReq(t, h, "GET", "/records?q=reaction:PP-->ZPRIMEX", map[string]string{"If-None-Match": etag}); w304.Code != 304 || w304.Body.Len() != 0 {
+		t.Fatalf("search 304: %d (%d bytes)", w304.Code, w304.Body.Len())
+	}
+	// Publishing a matching record changes the page ETag.
+	extra := testRecord(14) // 14%4 == 2 -> ZPRIME reaction
+	if _, err := srv.PublishRecord(extra); err != nil {
+		t.Fatal(err)
+	}
+	if w2 := doReq(t, h, "GET", "/records?q=reaction:PP-->ZPRIMEX", map[string]string{"If-None-Match": etag}); w2.Code != 200 {
+		t.Fatalf("stale search page served 304")
+	}
+
+	if w := doReq(t, h, "GET", "/records?q=zz&mode=bogus", nil); w.Code != 400 {
+		t.Fatalf("bad mode: %d", w.Code)
+	}
+	if w := doReq(t, h, "GET", "/records?cursor=@@", nil); w.Code != 400 {
+		t.Fatalf("bad cursor: %d", w.Code)
+	}
+}
+
+func TestDatasetEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, 1)
+	for i := 0; i < 6; i++ {
+		if _, err := srv.PublishDataset(testDataset(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := srv.Handler()
+
+	w := doReq(t, h, "GET", "/datasets?tier=AOD", nil)
+	var resp searchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 { // i%3==1 -> AOD: datasets 1, 4
+		t.Fatalf("AOD datasets: %+v", resp)
+	}
+	for _, res := range resp.Results {
+		if res.Kind != "dataset" {
+			t.Fatalf("kind: %+v", res)
+		}
+	}
+
+	name := resp.Results[0].Key
+	wd := doReq(t, h, "GET", "/datasets"+name, nil)
+	if wd.Code != 200 {
+		t.Fatalf("dataset get: %d %s", wd.Code, wd.Body)
+	}
+	var ds catalog.Dataset
+	if err := json.Unmarshal(wd.Body.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != name || ds.Tier != "AOD" {
+		t.Fatalf("dataset: %+v", ds)
+	}
+	etag := wd.Header().Get("ETag")
+	if w304 := doReq(t, h, "GET", "/datasets"+name, map[string]string{"If-None-Match": etag}); w304.Code != 304 || w304.Body.Len() != 0 {
+		t.Fatalf("dataset 304: %d", w304.Code)
+	}
+	if w := doReq(t, h, "GET", "/datasets/mc/nope/AOD/v1", nil); w.Code != 404 {
+		t.Fatalf("missing dataset: %d", w.Code)
+	}
+	// Metadata filter.
+	wm := doReq(t, h, "GET", "/datasets?meta=campaign=mc21", nil)
+	var mresp searchResponse
+	if err := json.Unmarshal(wm.Body.Bytes(), &mresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(mresp.Results) != 2 { // i%3==1 -> mc21: datasets 1, 4
+		t.Fatalf("meta filter: %+v", mresp)
+	}
+}
+
+func TestPublishEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, 0)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	body, err := hepdata.EncodeRecord(testRecord(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hts.URL+"/records", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("publish status: %d", resp.StatusCode)
+	}
+	var pub map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&pub); err != nil {
+		t.Fatal(err)
+	}
+	if pub["key"] != "ins1000000" || pub["etag"] == "" {
+		t.Fatalf("publish response: %+v", pub)
+	}
+	// Duplicate is a conflict.
+	resp2, err := http.Post(hts.URL+"/records", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 409 {
+		t.Fatalf("duplicate publish: %d", resp2.StatusCode)
+	}
+	// Published record is immediately searchable and fetchable.
+	w := doReq(t, srv.Handler(), "GET", "/records?q=inspire:1000000", nil)
+	var sr searchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total != 1 || sr.Results[0].ETag != pub["etag"] {
+		t.Fatalf("post-publish search: %+v", sr)
+	}
+
+	dsBody, _ := json.Marshal(testDataset(2))
+	resp3, err := http.Post(hts.URL+"/datasets", "application/json", strings.NewReader(string(dsBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != 201 {
+		t.Fatalf("dataset publish: %d", resp3.StatusCode)
+	}
+}
+
+func TestStatusAndHealth(t *testing.T) {
+	srv, _ := newTestServer(t, 3)
+	h := srv.Handler()
+	if w := doReq(t, h, "GET", "/healthz", nil); w.Code != 200 {
+		t.Fatalf("healthz: %d", w.Code)
+	}
+	doReq(t, h, "GET", "/records/ins1000000", nil)
+	doReq(t, h, "GET", "/records?q=boson", nil)
+	w := doReq(t, h, "GET", "/status", nil)
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 3 || st.IndexDocs != 3 || st.Lookups != 1 || st.Searches != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
-# bench.sh — run the performance harness and write BENCH_pipeline.json and
-# BENCH_cluster.json at the repo root. Pass -short for the CI smoke
-# variant (small sample, fewer worker counts) and -gate to enforce the
-# allocs/op and scaling acceptance thresholds (CI does); any other
+# bench.sh — run the performance harness and write BENCH_pipeline.json,
+# BENCH_cluster.json, BENCH_recast.json, and BENCH_query.json at the repo
+# root. Pass -short for the CI smoke variant (small sample, fewer worker
+# counts) and -gate to enforce the acceptance thresholds (CI does):
+# allocs/op and scaling for the pipeline, cached-lookup latency, allocs
+# per query, and search sublinearity for the read path. Any other
 # arguments are forwarded to daspos-bench. The harness refuses a
 # multi-worker sweep at GOMAXPROCS=1 (the scaling curve would be fiction);
 # pass -allow-single-cpu to override on a one-core box.
@@ -10,6 +12,6 @@ set -eu
 cd "$(dirname "$0")/.."
 
 echo "==> go run ./cmd/daspos-bench $*"
-go run ./cmd/daspos-bench -out BENCH_pipeline.json -cluster-out BENCH_cluster.json -recast-out BENCH_recast.json "$@"
+go run ./cmd/daspos-bench -out BENCH_pipeline.json -cluster-out BENCH_cluster.json -recast-out BENCH_recast.json -query-out BENCH_query.json "$@"
 
-echo "bench: wrote BENCH_pipeline.json, BENCH_cluster.json, and BENCH_recast.json"
+echo "bench: wrote BENCH_pipeline.json, BENCH_cluster.json, BENCH_recast.json, and BENCH_query.json"
