@@ -2,18 +2,27 @@
 // over the module: determinism (no clocks or global RNG in the pipeline
 // core), durability (fsync-before-rename commit ordering), errclass (the
 // transient/permanent taxonomy survives every wrap), ctxprop (exported
-// service entry points are cancellable), and closecheck (write-path
-// Close/Flush errors are never discarded).
+// service entry points are cancellable), closecheck (write-path
+// Close/Flush errors are never discarded), clonecheck (handed-out data is
+// defensively copied), and the concurrency-discipline trio — lockcheck
+// (no blocking operations while a mutex is held on the hot path),
+// leakcheck (every goroutine has a termination path), and atomiccheck
+// (no mixed atomic/plain field access, no copied locks).
 //
 // Usage:
 //
-//	daspos-vet [-only determinism,durability,...] [-json] [packages]
+//	daspos-vet [-only determinism,lockcheck,...] [-json] [-budget ms] [packages]
 //
 // Packages default to ./.... The exit status is 1 when any finding is
-// reported, 2 on a load or usage error — so the tool slots into
-// scripts/verify.sh and CI as a blocking stage. A deliberate exemption is
-// annotated in the source with the finding's //daspos:<token> comment
-// (e.g. //daspos:wallclock-ok on a metrics-only timer).
+// reported (or the -budget wall-time ceiling is blown), 2 on a load or
+// usage error — so the tool slots into scripts/verify.sh and CI as a
+// blocking stage. A deliberate exemption is annotated in the source with
+// the finding's //daspos:<token> comment (e.g. //daspos:lock-ok on a
+// write-ahead journal append); a stale annotation is itself a finding.
+//
+// With -json the output is an object: {"findings": [...], "timing":
+// [{"analyzer", "millis"}, ...], "total_millis": n} — the timing block
+// is what the CI budget check reads.
 package main
 
 import (
@@ -31,8 +40,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("daspos-vet: ")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
+	asJSON := flag.Bool("json", false, "emit findings and per-analyzer timing as a JSON object")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	budget := flag.Float64("budget", 0, "fail (exit 1) if total analyzer wall time exceeds this many milliseconds (0 = no ceiling)")
 	flag.Parse()
 
 	all := analysis.Analyzers()
@@ -59,12 +69,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings := analysis.Run(fset, pkgs, selected)
+	findings, timing := analysis.RunTimed(fset, pkgs, selected)
 	if findings == nil {
 		findings = []analysis.Finding{} // a clean run is [], not null
 	}
+	var totalMillis float64
+	for _, tm := range timing {
+		totalMillis += tm.Millis
+	}
 	if *asJSON {
-		out, err := json.MarshalIndent(findings, "", "  ")
+		out, err := json.MarshalIndent(struct {
+			Findings    []analysis.Finding        `json:"findings"`
+			Timing      []analysis.AnalyzerTiming `json:"timing"`
+			TotalMillis float64                   `json:"total_millis"`
+		}{findings, timing, totalMillis}, "", "  ")
 		if err != nil {
 			log.Print(err)
 			os.Exit(2)
@@ -75,10 +93,21 @@ func main() {
 			fmt.Printf("%s\n    invariant: %s\n", f, f.Why)
 		}
 	}
+	fail := false
 	if len(findings) > 0 {
 		if !*asJSON {
 			log.Printf("%d finding(s) in %d package(s)", len(findings), len(pkgs))
 		}
+		fail = true
+	}
+	if *budget > 0 && totalMillis > *budget {
+		log.Printf("analyzer wall time %.0fms exceeds the %.0fms budget — profile the slow analyzer before it rots the edit loop", totalMillis, *budget)
+		for _, tm := range timing {
+			log.Printf("    %-12s %8.1fms", tm.Analyzer, tm.Millis)
+		}
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }
@@ -100,7 +129,11 @@ func selectAnalyzers(all []*analysis.Analyzer, only string) ([]*analysis.Analyze
 		}
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			valid := make([]string, len(all))
+			for i, a := range all {
+				valid[i] = a.Name
+			}
+			return nil, fmt.Errorf("unknown analyzer %q: valid names are %s", name, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"daspos/internal/analysis"
+)
+
+func TestSelectAnalyzersAll(t *testing.T) {
+	all := analysis.Analyzers()
+	got, err := selectAnalyzers(all, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("empty -only selected %d of %d analyzers", len(got), len(all))
+	}
+}
+
+func TestSelectAnalyzersSubset(t *testing.T) {
+	got, err := selectAnalyzers(analysis.Analyzers(), "lockcheck, leakcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "lockcheck" || got[1].Name != "leakcheck" {
+		t.Fatalf("wrong selection: %v", got)
+	}
+}
+
+// An unknown analyzer name must be a hard error that lists every valid
+// name — not a silent no-op run that exits 0 and green-lights nothing.
+func TestSelectAnalyzersUnknownName(t *testing.T) {
+	all := analysis.Analyzers()
+	_, err := selectAnalyzers(all, "lockchek")
+	if err == nil {
+		t.Fatal("unknown analyzer name did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"lockchek"`) {
+		t.Errorf("error does not name the bad input: %s", msg)
+	}
+	for _, a := range all {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not list valid analyzer %s: %s", a.Name, msg)
+		}
+	}
+}
+
+func TestSelectAnalyzersEmptySelection(t *testing.T) {
+	if _, err := selectAnalyzers(analysis.Analyzers(), " , ,"); err == nil {
+		t.Fatal("-only with no names did not error")
+	}
+}

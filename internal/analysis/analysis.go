@@ -28,6 +28,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report: a position, the specific defect, and the
@@ -76,7 +77,7 @@ type Pass struct {
 	Info     *types.Info
 
 	findings   *[]Finding
-	suppressed map[string]map[int]bool // file -> line -> directive present
+	directives *directiveSet
 }
 
 // Reportf records a finding at pos unless a //daspos:<token> suppression
@@ -97,35 +98,85 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// lineSuppressed reports whether the analyzer's suppression token appears
-// on the finding's line or the line directly above it.
-func (p *Pass) lineSuppressed(pos token.Position) bool {
-	if p.suppressed == nil {
-		p.suppressed = make(map[string]map[int]bool)
-		directive := "//daspos:" + p.Analyzer.Suppress
-		for _, f := range p.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, directive) {
-						continue
-					}
-					rest := strings.TrimPrefix(c.Text, directive)
-					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-						continue // a longer, different token
-					}
-					cp := p.Fset.Position(c.Pos())
-					lines := p.suppressed[cp.Filename]
-					if lines == nil {
-						lines = make(map[int]bool)
-						p.suppressed[cp.Filename] = lines
-					}
-					lines[cp.Line] = true
+// directive is one //daspos:<token> comment in a package, with the
+// bookkeeping the unused-suppression check needs: a directive that never
+// suppresses a finding is itself a finding, so stale annotations cannot
+// accumulate as the code under them evolves.
+type directive struct {
+	token string
+	pos   token.Position
+	used  bool
+}
+
+// directiveSet indexes a package's suppression directives.
+type directiveSet struct {
+	byLine map[string]map[string]map[int]*directive // token -> file -> line
+	all    []*directive
+}
+
+// collectDirectives scans a package's comments for //daspos:<token>
+// directives. The token runs to the first space; explanatory prose after
+// it is encouraged and ignored.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[string]map[int]*directive)}
+	const prefix = "//daspos:"
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
 				}
+				rest := strings.TrimPrefix(c.Text, prefix)
+				tok := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					tok = rest[:i]
+				}
+				if tok == "" {
+					continue
+				}
+				cp := fset.Position(c.Pos())
+				d := &directive{token: tok, pos: cp}
+				files := ds.byLine[tok]
+				if files == nil {
+					files = make(map[string]map[int]*directive)
+					ds.byLine[tok] = files
+				}
+				lines := files[cp.Filename]
+				if lines == nil {
+					lines = make(map[int]*directive)
+					files[cp.Filename] = lines
+				}
+				lines[cp.Line] = d
+				ds.all = append(ds.all, d)
 			}
 		}
 	}
-	lines := p.suppressed[pos.Filename]
-	return lines[pos.Line] || lines[pos.Line-1]
+	return ds
+}
+
+// lookup finds a directive for token covering line (the directive's own
+// line or the line directly above the finding).
+func (ds *directiveSet) lookup(token, file string, line int) *directive {
+	lines := ds.byLine[token][file]
+	if d := lines[line]; d != nil {
+		return d
+	}
+	return lines[line-1]
+}
+
+// lineSuppressed reports whether the analyzer's suppression token appears
+// on the finding's line or the line directly above it, and marks the
+// directive used.
+func (p *Pass) lineSuppressed(pos token.Position) bool {
+	if p.directives == nil || p.Analyzer.Suppress == "" {
+		return false
+	}
+	d := p.directives.lookup(p.Analyzer.Suppress, pos.Filename, pos.Line)
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
 }
 
 // typeOf resolves an expression's static type, nil when unknown.
@@ -162,33 +213,123 @@ func Analyzers() []*Analyzer {
 		CtxProp,
 		CloseCheck,
 		CloneCheck,
+		LockCheck,
+		LeakCheck,
+		AtomicCheck,
 	}
+}
+
+// AnalyzerTiming is one analyzer's cumulative wall time across a Run —
+// surfaced through daspos-vet -json so an analyzer whose cost regresses
+// is visible in CI before it slows every pre-merge gate.
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"millis"`
 }
 
 // Run executes the analyzers over the loaded packages and returns every
 // finding, sorted by position. Analyzers whose Match rejects a package's
 // import path skip it.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunTimed(fset, pkgs, analyzers)
+	return findings
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting, in the
+// analyzers' reporting order.
+func RunTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
 	var findings []Finding
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
+		dirs := collectDirectives(fset, pkg.Files)
 		for _, a := range analyzers {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				findings: &findings,
+				Analyzer:   a,
+				Fset:       fset,
+				Path:       pkg.Path,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				Info:       pkg.Info,
+				findings:   &findings,
+				directives: dirs,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
 		}
+		findings = append(findings, unusedDirectives(pkg, dirs, analyzers)...)
 	}
 	sortFindings(findings)
-	return findings
+	timings := make([]AnalyzerTiming, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Analyzer: a.Name, Millis: float64(elapsed[a.Name].Microseconds()) / 1000})
+	}
+	return findings, timings
+}
+
+// SuppressReporter is the name under which the framework reports
+// suppression-inventory findings: a //daspos:<token> directive that no
+// longer suppresses anything, or a token no analyzer owns.
+const SuppressReporter = "suppress"
+
+const suppressWhy = "a suppression comment that no longer suppresses anything is a stale exemption: it documents an invariant violation that no longer exists, and it will silently swallow the next real finding on its line"
+
+// unusedDirectives audits a package's suppression inventory after every
+// analyzer ran: each directive must have suppressed at least one finding
+// of the analyzer that owns its token. Tokens are only audited when
+// their owning analyzer actually ran on the package (so daspos-vet -only
+// never misreports another analyzer's annotations), and tokens no
+// analyzer in the full suite owns are typos worth naming loudly.
+func unusedDirectives(pkg *Package, dirs *directiveSet, ran []*Analyzer) []Finding {
+	owners := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		if a.Suppress != "" {
+			owners[a.Suppress] = a
+		}
+	}
+	audited := make(map[string]bool)
+	for _, a := range ran {
+		if a.Suppress != "" && (a.Match == nil || a.Match(pkg.Path)) {
+			audited[a.Suppress] = true
+		}
+	}
+	var out []Finding
+	report := func(d *directive, format string, args ...any) {
+		out = append(out, Finding{
+			Analyzer: SuppressReporter,
+			Pos:      d.pos,
+			File:     d.pos.Filename,
+			Line:     d.pos.Line,
+			Col:      d.pos.Column,
+			Message:  fmt.Sprintf(format, args...),
+			Why:      suppressWhy,
+		})
+	}
+	for _, d := range dirs.all {
+		owner, known := owners[d.token]
+		if !known {
+			report(d, "unknown suppression token %q: no analyzer owns it, so it suppresses nothing (valid tokens: %s)", d.token, strings.Join(suppressTokens(), ", "))
+			continue
+		}
+		if audited[d.token] && !d.used {
+			report(d, "unused suppression //daspos:%s: %s reports no finding on this line anymore — the exemption is stale; delete it (or re-justify it against the current code)", d.token, owner.Name)
+		}
+	}
+	return out
+}
+
+// suppressTokens lists the suite's suppression tokens in reporting order.
+func suppressTokens() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		if a.Suppress != "" {
+			out = append(out, a.Suppress)
+		}
+	}
+	return out
 }
 
 func sortFindings(fs []Finding) {

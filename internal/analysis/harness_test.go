@@ -20,13 +20,19 @@ import (
 	"go/ast"
 )
 
-var wantRE = regexp.MustCompile("//\\s*want\\s+(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+// wantRE matches one expectation: an optional pinned column, then the
+// message regexp — `// want "re"`, `// want 17:"re"`, or backquoted.
+// The regexp is matched against "analyzer: message", so multi-analyzer
+// testdata packages can anchor an expectation to one analyzer by
+// prefixing the pattern with its name.
+var wantRE = regexp.MustCompile("//\\s*want\\s+(?:(\\d+):)?(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
 
-// expectation is one // want comment: a line that must produce a finding
-// whose message matches the regexp.
+// expectation is one // want comment: a line (and optionally a column)
+// that must produce a finding whose qualified message matches the regexp.
 type expectation struct {
 	file    string
 	line    int
+	col     int // 0 = any column
 	re      *regexp.Regexp
 	matched bool
 }
@@ -37,8 +43,19 @@ type expectation struct {
 // want expectations.
 func runAnalyzerTest(t *testing.T, a *Analyzer, dir, virtualPath string) {
 	t.Helper()
-	if a.Match != nil && !a.Match(virtualPath) {
-		t.Fatalf("virtual path %q is outside analyzer %s's scope", virtualPath, a.Name)
+	runAnalyzersTest(t, []*Analyzer{a}, dir, virtualPath)
+}
+
+// runAnalyzersTest is the multi-analyzer form: the whole set runs over
+// one testdata package, the way daspos-vet runs the suite over a real
+// one, and every finding — including the framework's unused-suppression
+// reports — must be expected.
+func runAnalyzersTest(t *testing.T, as []*Analyzer, dir, virtualPath string) {
+	t.Helper()
+	for _, a := range as {
+		if a.Match != nil && !a.Match(virtualPath) {
+			t.Fatalf("virtual path %q is outside analyzer %s's scope", virtualPath, a.Name)
+		}
 	}
 	names, err := filepath.Glob(filepath.Join("testdata", dir, "*.go"))
 	if err != nil {
@@ -71,15 +88,22 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, dir, virtualPath string) {
 		}
 		for i, line := range strings.Split(string(src), "\n") {
 			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
-				pat := m[1]
-				if m[2] != "" {
-					pat = m[2]
+				pat := m[2]
+				if m[3] != "" {
+					pat = m[3]
 				}
 				re, err := regexp.Compile(pat)
 				if err != nil {
 					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
 				}
-				expects = append(expects, &expectation{file: name, line: i + 1, re: re})
+				col := 0
+				if m[1] != "" {
+					col, err = strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want column %q: %v", name, i+1, m[1], err)
+					}
+				}
+				expects = append(expects, &expectation{file: name, line: i + 1, col: col, re: re})
 			}
 		}
 	}
@@ -100,11 +124,13 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, dir, virtualPath string) {
 		t.Fatal(err)
 	}
 
-	findings := Run(fset, []*Package{{Path: virtualPath, Files: files, Types: pkg, Info: info}}, []*Analyzer{a})
+	findings := Run(fset, []*Package{{Path: virtualPath, Files: files, Types: pkg, Info: info}}, as)
 	for _, f := range findings {
+		qualified := f.Analyzer + ": " + f.Message
 		matched := false
 		for _, e := range expects {
-			if !e.matched && e.file == f.File && e.line == f.Line && e.re.MatchString(f.Message) {
+			if !e.matched && e.file == f.File && e.line == f.Line &&
+				(e.col == 0 || e.col == f.Col) && e.re.MatchString(qualified) {
 				e.matched = true
 				matched = true
 				break
@@ -116,7 +142,11 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, dir, virtualPath string) {
 	}
 	for _, e := range expects {
 		if !e.matched {
-			t.Errorf("%s:%d: no finding matching %q", e.file, e.line, e.re)
+			if e.col > 0 {
+				t.Errorf("%s:%d:%d: no finding matching %q at that column", e.file, e.line, e.col, e.re)
+			} else {
+				t.Errorf("%s:%d: no finding matching %q", e.file, e.line, e.re)
+			}
 		}
 	}
 }

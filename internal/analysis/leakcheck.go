@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck enforces that every goroutine the hot-path packages spawn has
+// a termination path. `go test -race` catches a leaked goroutine only
+// when a test happens to interleave with it; structurally, a leak is
+// visible at the `go` statement — a body that loops with no cancellation
+// signal, a fire-and-forget spawn nothing ever waits for, or a channel
+// send that blocks forever once the receiver gives up. Accepted
+// termination evidence, per the repo's supervision idioms:
+//
+//   - a receive from ctx.Done() (or any chan struct{} done-channel),
+//     directly or as a select case;
+//   - a close-signaled `for range ch` loop — the spawner ends the
+//     goroutine by closing the channel;
+//   - sync.WaitGroup.Done — the spawner joins the goroutine;
+//   - a context.Context flowing into the body's calls (cancellable by
+//     construction), for straight-line bodies;
+//   - a provably bounded body whose channel sends all target channels
+//     created with non-zero capacity in the spawning function (the
+//     buffered fan-in idiom: the send cannot block even if the receiver
+//     has moved on).
+//
+// A deliberate exception — a daemon goroutine whose lifetime IS the
+// process — is annotated //daspos:leak-ok with its justification.
+var LeakCheck = &Analyzer{
+	Name:     "leakcheck",
+	Doc:      "every go statement needs a termination path: ctx.Done/done-channel select, WaitGroup.Done, close-signaled range, or a provably bounded body",
+	Why:      "a goroutine with no termination path outlives its work and leaks its stack, its captures, and — when it blocks on a channel nobody drains — the whole data structure behind it, forever",
+	Suppress: "leak-ok",
+	Match: matchPath(
+		"internal/queryserve",
+		"internal/recast",
+		"internal/cluster",
+		"internal/node",
+		"internal/catalog",
+		"internal/hepdata",
+		"internal/eventflow",
+	),
+	Run: runLeakCheck,
+}
+
+func runLeakCheck(p *Pass) {
+	decls := p.funcDecls()
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			p.checkGoStmt(gs, decls, enclosingBody(f, gs))
+			return true
+		})
+	}
+}
+
+// funcDecls indexes the package's function declarations by their type
+// object, so `go q.worker()` can be resolved to the worker body.
+func (p *Pass) funcDecls() map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// enclosingBody returns the innermost function body containing pos — the
+// spawning function, whose channel make-sites prove sends buffered.
+func enclosingBody(f *ast.File, gs *ast.GoStmt) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > gs.Pos() || n.End() < gs.End() {
+			return n.Pos() <= gs.Pos() && n.End() >= gs.End()
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil && fn.Body.Pos() <= gs.Pos() && fn.Body.End() >= gs.End() {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			if fn.Body.Pos() <= gs.Pos() && fn.Body.End() >= gs.End() && fn != gs.Call.Fun {
+				body = fn.Body
+			}
+		}
+		return true
+	})
+	return body
+}
+
+// leakEvidence is what the analyzer found inside a goroutine body.
+type leakEvidence struct {
+	wgDone    bool // sync.WaitGroup.Done — the spawner joins it
+	ctxDone   bool // <-ctx.Done() receive (direct or select case)
+	doneChan  bool // receive from a chan struct{} done-channel
+	rangeChan bool // for range over a channel — ends on close
+	carryCtx  bool // a context.Context flows into the body's calls
+}
+
+func (e leakEvidence) terminationSignal() bool {
+	return e.ctxDone || e.doneChan || e.rangeChan
+}
+
+func (e leakEvidence) any() bool {
+	return e.wgDone || e.ctxDone || e.doneChan || e.rangeChan || e.carryCtx
+}
+
+func (p *Pass) checkGoStmt(gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl, spawner *ast.BlockStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := p.calleeFunc(gs.Call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			body = fd.Body
+		} else {
+			// The callee lives outside this package; its body is out of
+			// intra-procedural reach. A context argument still proves the
+			// goroutine cancellable — anything else needs an annotation.
+			for _, arg := range gs.Call.Args {
+				if isContextType(p.typeOf(arg)) {
+					return
+				}
+			}
+			p.Reportf(gs.Pos(), "goroutine runs %s, declared outside this package, with no context argument: termination is unprovable here (pass a ctx, supervise it, or //daspos:leak-ok with the lifetime that bounds it)", fn.Name())
+			return
+		}
+	} else {
+		return // go f() on a function value: dynamic target, nothing to inspect
+	}
+
+	ev := p.scanEvidence(body)
+	for _, arg := range gs.Call.Args {
+		if isContextType(p.typeOf(arg)) {
+			ev.carryCtx = true
+		}
+	}
+
+	g := BuildCFG(body)
+	if !g.ReachesExit() && !ev.terminationSignal() {
+		p.Reportf(gs.Pos(), "goroutine loops forever with no termination signal: no ctx.Done or done-channel select, no close-signaled range — it outlives its work unconditionally (add a cancellation case, or //daspos:leak-ok for a process-lifetime daemon)")
+		return
+	}
+
+	// Unguarded blocking sends: even a supervised goroutine wedges forever
+	// on a send nobody receives, so this check applies regardless of other
+	// evidence.
+	buffered := bufferedChanObjects(p, spawner, body)
+	p.checkSends(body, buffered)
+
+	// A channel operation is a rendezvous with the world outside the
+	// goroutine: the spawn is not fire-and-forget (whether the send can
+	// block forever is checkSends' separate question).
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				tied = true
+			}
+		}
+		return true
+	})
+
+	if !ev.any() && !tied {
+		p.Reportf(gs.Pos(), "fire-and-forget goroutine: nothing joins it (no WaitGroup.Done), nothing cancels it (no context or done channel), and no bounded channel ties it to its spawner (supervise it, or //daspos:leak-ok with the reason it cannot outlive its work)")
+	}
+}
+
+// scanEvidence walks a goroutine body collecting termination evidence.
+// Nested `go` statements are skipped — their bodies are their own
+// goroutines and are checked at their own spawn sites — but deferred
+// cleanup literals are scanned, since they run in this goroutine.
+func (p *Pass) scanEvidence(body *ast.BlockStmt) leakEvidence {
+	var ev leakEvidence
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := p.calleeFunc(x); fn != nil {
+				if fn.Name() == "Done" && namedSyncType(recvType(fn)) == "WaitGroup" {
+					ev.wgDone = true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					for i := 0; i < sig.Params().Len(); i++ {
+						if isContextType(sig.Params().At(i).Type()) {
+							ev.carryCtx = true
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if isCtxDoneCall(p, x.X) {
+					ev.ctxDone = true
+				} else if isDoneChanType(p.typeOf(x.X)) {
+					ev.doneChan = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := p.typeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ev.rangeChan = true
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// isCtxDoneCall reports whether e is a call of context.Context.Done.
+func isCtxDoneCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(p.typeOf(sel.X))
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isDoneChanType reports whether t is a (possibly receive-only) channel
+// of struct{} — the done-channel convention.
+func isDoneChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// bufferedChanObjects collects the variable objects in scope that are
+// provably buffered channels: assigned make(chan T, n) with a non-zero
+// capacity expression, in either the spawning function or the goroutine
+// body itself.
+func bufferedChanObjects(p *Pass, bodies ...*ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return
+		}
+		t := p.typeOf(call)
+		if t == nil {
+			return
+		}
+		if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		// Capacity 0 written explicitly is unbuffered; anything else
+		// (literal, len(...), a variable) buffers.
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+			return
+		}
+		if target := rootIdent(lhs); target != nil {
+			if obj := p.Info.Defs[target]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Info.Uses[target]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	for _, body := range bodies {
+		if body == nil {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if i < len(st.Lhs) {
+						record(st.Lhs[i], rhs)
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := st.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for i, v := range vs.Values {
+								if i < len(vs.Names) {
+									record(vs.Names[i], v)
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkSends reports channel sends in a goroutine body that can block
+// forever: not inside a select that has a default or a termination case,
+// and not on a channel proven buffered.
+func (p *Pass) checkSends(body *ast.BlockStmt, buffered map[types.Object]bool) {
+	guarded := p.guardedComms(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			if _, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+				return false // its own goroutine, checked at its own spawn
+			}
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if guarded[send.Pos()] {
+			return true
+		}
+		if id := rootIdent(send.Chan); id != nil {
+			if obj := p.Info.Uses[id]; obj != nil && buffered[obj] {
+				return true
+			}
+		}
+		p.Reportf(send.Pos(), "unguarded blocking send in a goroutine: if the receiver stops listening (error return, timeout, early quorum), this send — and the goroutine — block forever (buffer the channel to the fan-out size, select on ctx.Done alongside it, or //daspos:leak-ok with the receive guarantee)")
+		return true
+	})
+}
+
+// guardedComms collects positions of channel operations that are comm
+// clauses of a select with an escape hatch: a default case, a ctx.Done
+// case, or a done-channel case.
+func (p *Pass) guardedComms(body *ast.BlockStmt) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		escape := false
+		for _, cs := range sel.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				escape = true
+				continue
+			}
+			if recvExpr := commReceiveExpr(cc.Comm); recvExpr != nil {
+				if isCtxDoneCall(p, recvExpr) || isDoneChanType(p.typeOf(recvExpr)) {
+					escape = true
+				}
+			}
+		}
+		if !escape {
+			return true
+		}
+		for _, cs := range sel.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+				out[cc.Comm.Pos()] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// commReceiveExpr extracts the channel expression of a receive comm
+// clause (`<-ch`, `v := <-ch`, `v, ok := <-ch`), nil for sends.
+func commReceiveExpr(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch st := comm.(type) {
+	case *ast.ExprStmt:
+		e = st.X
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			e = st.Rhs[0]
+		}
+	}
+	ue, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.ARROW {
+		return nil
+	}
+	return ue.X
+}

@@ -1,0 +1,151 @@
+// Seeded violations for the leakcheck analyzer: goroutines that loop
+// with no termination signal, fire-and-forget spawns, and unguarded
+// blocking sends — next to the supervised shapes (ctx.Done selects,
+// WaitGroup joins, close-signaled ranges, buffered fan-ins) that must
+// stay silent.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+type svc struct {
+	in   chan int
+	done chan struct{}
+}
+
+func use(int) {}
+
+func compute() int { return 42 }
+
+func spinForever() {
+	go func() { // want `goroutine loops forever with no termination signal`
+		for {
+			compute()
+		}
+	}()
+}
+
+func ctxSelectOK(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				use(v)
+			}
+		}
+	}()
+}
+
+func doneChanOK(s *svc) {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.in:
+				use(v)
+			}
+		}
+	}()
+}
+
+func rangeChanOK(in chan int) {
+	go func() {
+		for v := range in {
+			use(v)
+		}
+	}()
+}
+
+func fireAndForget() {
+	go func() { // want `fire-and-forget goroutine`
+		compute()
+	}()
+}
+
+func waitGroupOK(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		compute()
+	}()
+}
+
+func unguardedSend() {
+	results := make(chan int)
+	go func() {
+		results <- compute() // want `unguarded blocking send in a goroutine`
+	}()
+	<-results
+}
+
+func bufferedFanInOK(n int) {
+	results := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			results <- compute()
+		}()
+	}
+}
+
+func guardedSendOK(ctx context.Context, out chan int) {
+	go func() {
+		select {
+		case out <- compute():
+		case <-ctx.Done():
+		}
+	}()
+}
+
+type worker struct {
+	ctx context.Context
+	in  chan int
+}
+
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case v := <-w.in:
+			use(v)
+		}
+	}
+}
+
+func (w *worker) spin() {
+	for {
+		compute()
+	}
+}
+
+func (w *worker) startOK() {
+	go w.loop()
+}
+
+func (w *worker) startSpin() {
+	go w.spin() // want `goroutine loops forever with no termination signal`
+}
+
+func externalNoCtx(addr string) {
+	go http.ListenAndServe(addr, nil) // want `goroutine runs ListenAndServe, declared outside this package`
+}
+
+func externalWithCtxOK(ctx context.Context, srv *http.Server) {
+	go srv.Shutdown(ctx)
+}
+
+// A process-lifetime daemon, documented as such.
+func daemonAnnotatedOK() {
+	//daspos:leak-ok — metrics flusher lives for the process
+	go func() {
+		for {
+			compute()
+		}
+	}()
+}

@@ -1,0 +1,49 @@
+// A multi-analyzer testdata package: lockcheck, leakcheck, and
+// atomiccheck all audit it at once, the way daspos-vet audits a real
+// package. Expectations anchor on the analyzer name (the harness matches
+// against "analyzer: message") and pin exact columns, so a finding
+// drifting to a different subexpression fails the golden test even when
+// line and message still match.
+package recast
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type state struct {
+	mu   sync.Mutex
+	hits int64
+}
+
+func (s *state) sleepy() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want 2:`lockcheck: time\.Sleep while s\.mu is held`
+}
+
+func spin() {
+	go func() { // want 2:`leakcheck: goroutine loops forever`
+		for {
+		}
+	}()
+}
+
+func (s *state) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *state) readRacy() int64 {
+	return s.hits // want 9:`atomiccheck: plain access to hits`
+}
+
+// One line, two analyzers: the send blocks under the held lock
+// (lockcheck) and can wedge the goroutine forever (leakcheck).
+func (s *state) doubleTrouble(out chan int) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out <- 1 // want 3:`lockcheck: channel send while s\.mu is held` // want 3:`leakcheck: unguarded blocking send`
+	}()
+}

@@ -1,0 +1,38 @@
+// Testdata for the suppression-inventory audit. The package runs under
+// lockcheck only: a lock-ok directive that suppresses a real finding is
+// used (silent), one that covers a clean line is stale (reported), and a
+// token no analyzer owns is a typo (reported). Tokens owned by analyzers
+// that did NOT run here (leak-ok) must stay unaudited — daspos-vet -only
+// must never misreport another analyzer's annotations.
+package catalog
+
+import (
+	"sync"
+	"time"
+)
+
+type reg struct {
+	mu sync.Mutex
+}
+
+func (r *reg) justified() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond) //daspos:lock-ok — seeded justification: the sleep is the test fixture
+}
+
+func (r *reg) stale() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = r //daspos:lock-ok — nothing blocks here anymore // want `suppress: unused suppression //daspos:lock-ok`
+
+	//daspos:lokc-ok — typo'd token // want `suppress: unknown suppression token "lokc-ok"`
+	_ = r
+}
+
+func notAudited() {
+	// leak-ok belongs to leakcheck, which does not run over this
+	// package in the test — so this directive must not be reported even
+	// though nothing uses it.
+	_ = 0 //daspos:leak-ok — out-of-scope token, must stay silent here
+}

@@ -153,7 +153,7 @@ func (q *PQueue) Close() error {
 	if q.journal == nil {
 		return nil
 	}
-	err := q.journal.Close()
+	err := q.journal.Close() //daspos:lock-ok — q.mu excludes in-flight appendLocked writers while the handle dies
 	q.journal = nil
 	return err
 }

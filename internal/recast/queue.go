@@ -115,9 +115,9 @@ func (q *Queue) Enqueue(id string) bool {
 		return false
 	}
 	select {
-	case q.jobs <- id:
+	case q.jobs <- id: //daspos:lock-ok — the read lock fences Wait's close(q.jobs); the send must stay inside it
 		return true
-	case <-q.ctx.Done():
+	case <-q.ctx.Done(): //daspos:lock-ok — same select: cancellation bounds the wait, RLock admits other producers
 		return false
 	}
 }

@@ -136,17 +136,17 @@ type syncWriter struct {
 func (w *syncWriter) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	n, err := w.f.Write(p)
+	n, err := w.f.Write(p) //daspos:lock-ok — write-ahead journal: the record must be durable before the next writer interleaves
 	if err != nil {
 		return n, err
 	}
-	return n, w.f.Sync()
+	return n, w.f.Sync() //daspos:lock-ok — the fsync is the write barrier the journal exists for; convoying here is the contract
 }
 
 func (w *syncWriter) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.f.Close()
+	return w.f.Close() //daspos:lock-ok — w.mu excludes concurrent Writes while the handle dies
 }
 
 // NewServer builds the front door over a prepared Service (subscriptions

@@ -15,8 +15,8 @@ go build -o /dev/null ./cmd/daspos-bench
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> daspos-vet ./... (preservation invariants)"
-go run ./cmd/daspos-vet ./...
+echo "==> daspos-vet ./... (preservation + concurrency invariants)"
+go run ./cmd/daspos-vet -budget 60000 ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
